@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/omp/ ./internal/npb/ ./internal/machine/ ./internal/mpi/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full class-A reproduction of every table and figure (minutes).
+experiments:
+	$(GO) run ./cmd/experiments -class A
+	$(GO) run ./cmd/experiments -class A -only extensions
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cgsolver
+	$(GO) run ./examples/stride
+	$(GO) run ./examples/smt
+	$(GO) run ./examples/mpihalo
+
+fuzz:
+	$(GO) test -fuzz FuzzHierarchy -fuzztime 30s ./internal/tlb/
+	$(GO) test -fuzz FuzzAllocator -fuzztime 30s ./internal/scash/
+
+clean:
+	$(GO) clean ./...

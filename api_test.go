@@ -1,0 +1,108 @@
+package hugeomp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Tests of the public facade: everything a downstream user touches.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sys, err := NewSystem(Config{Model: Opteron270(), Policy: Policy2M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := sys.MustArray("data", 1<<16)
+	for i := range arr.Data {
+		arr.Data[i] = 1
+	}
+	sys.Seal()
+	rt, err := sys.NewRT(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := rt.ParallelForReduce(nil, arr.Len(), For{Schedule: Static}, 0,
+		func(tid int, c *Context, lo, hi int) float64 {
+			arr.LoadRange(c, lo, hi)
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += arr.Data[i]
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+	if sum != float64(arr.Len()) {
+		t.Errorf("sum = %v", sum)
+	}
+	if rt.Seconds() <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+	if rt.TotalCounters().Loads == 0 {
+		t.Error("no loads counted")
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	if len(Models()) != 2 {
+		t.Fatal("expected two platform models")
+	}
+	if Opteron270().Name != "Opteron270" || XeonHT().Name != "XeonHT" {
+		t.Error("model names")
+	}
+	if XeonHT().MaxThreads() != 8 || Opteron270().MaxThreads() != 4 {
+		t.Error("hardware context counts")
+	}
+}
+
+func TestFacadeKernels(t *testing.T) {
+	if len(Kernels()) != 5 {
+		t.Fatal("expected the five NAS kernels")
+	}
+	k, err := NewKernel("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBenchmark(k, RunConfig{
+		Model: Opteron270(), Threads: 2, Policy: Policy4K, Class: ClassT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != "CG" || res.Cycles == 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestFacadeTable1(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable1(&buf)
+	if !strings.Contains(buf.String(), "Opteron270") {
+		t.Error("Table 1 output incomplete")
+	}
+}
+
+func TestFacadePaperHeadline(t *testing.T) {
+	// The paper's headline at test scale: CG with 2MB pages beats 4KB pages
+	// at 4 threads on the Opteron, with a large DTLB-walk reduction.
+	run := func(p PagePolicy) Result {
+		k, err := NewKernel("CG")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunBenchmark(k, RunConfig{
+			Model: Opteron270(), Threads: 4, Policy: p, Class: ClassS,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r4, r2 := run(Policy4K), run(Policy2M)
+	if r2.Cycles >= r4.Cycles {
+		t.Errorf("2MB (%d cycles) not faster than 4KB (%d)", r2.Cycles, r4.Cycles)
+	}
+	if r2.Counters.DTLBWalks()*2 >= r4.Counters.DTLBWalks() {
+		t.Errorf("walk reduction too small: %d -> %d",
+			r4.Counters.DTLBWalks(), r2.Counters.DTLBWalks())
+	}
+}

@@ -1,0 +1,43 @@
+// Command cpuid prints the TLB descriptors of the simulated processors the
+// way the paper measured its Table 1 ("These sizes were measured through the
+// CPUID instruction").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hugeomp/internal/bench"
+	"hugeomp/internal/cpuid"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpuid: ")
+	verbose := flag.Bool("v", false, "also list every raw descriptor")
+	flag.Parse()
+
+	bench.Table1(os.Stdout)
+	if !*verbose {
+		return
+	}
+	for _, m := range []machine.Model{machine.XeonHT(), machine.Opteron270()} {
+		fmt.Printf("\n%s descriptors:\n", m.Name)
+		for _, d := range cpuid.Enumerate(m) {
+			assoc := "full"
+			if d.Ways > 0 {
+				assoc = fmt.Sprintf("%d-way", d.Ways)
+			}
+			if d.Entries == 0 {
+				fmt.Printf("  %-8s %-4s absent\n", d.Structure, d.PageSize)
+				continue
+			}
+			fmt.Printf("  %-8s %-4s %4d entries, %6s, covers %s\n",
+				d.Structure, d.PageSize, d.Entries, assoc, units.HumanBytes(d.Coverage()))
+		}
+	}
+}

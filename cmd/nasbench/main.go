@@ -1,0 +1,96 @@
+// Command nasbench sweeps the whole NAS suite across machines, page
+// policies and thread counts and prints a comparison table with the
+// improvement of 2 MB over 4 KB pages per configuration.
+//
+// Usage:
+//
+//	nasbench -class W
+//	nasbench -class A -apps CG,SP -machines Opteron270
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"hugeomp/internal/bench"
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/npb"
+	"hugeomp/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nasbench: ")
+	class := flag.String("class", "W", "problem class: T, S, W or A")
+	apps := flag.String("apps", "", "comma-separated subset of BT,CG,FT,SP,MG (default all)")
+	alt := flag.String("alt", "2M", "policy compared against the 4KB baseline: 2M, mixed or transparent")
+	machines := flag.String("machines", "", "comma-separated subset of Opteron270,XeonHT (default both)")
+	flag.Parse()
+
+	cl, err := npb.ParseClass(*class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	appList := npb.Names()
+	if *apps != "" {
+		appList = strings.Split(*apps, ",")
+	}
+	modelList := machine.Models()
+	if *machines != "" {
+		modelList = nil
+		for _, name := range strings.Split(*machines, ",") {
+			m, ok := machine.ModelByName(name)
+			if !ok {
+				log.Fatalf("unknown machine %q", name)
+			}
+			modelList = append(modelList, m)
+		}
+	}
+
+	var altPolicy core.PagePolicy
+	switch *alt {
+	case "2M", "2m":
+		altPolicy = core.Policy2M
+	case "mixed":
+		altPolicy = core.PolicyMixed
+	case "transparent":
+		altPolicy = core.PolicyTransparent
+	default:
+		log.Fatalf("unknown alt policy %q", *alt)
+	}
+
+	fmt.Printf("%-6s%-12s%5s%12s%16s%12s%16s\n",
+		"App", "Machine", "Thr", "4KB (s)", altPolicy.String()+" (s)", "gain", "walk-reduction")
+	for _, app := range appList {
+		for _, model := range modelList {
+			for _, threads := range bench.Fig4Threads(model) {
+				var secs [2]float64
+				var walks [2]uint64
+				for i, policy := range []core.PagePolicy{core.Policy4K, altPolicy} {
+					k, err := npb.New(app)
+					if err != nil {
+						log.Fatal(err)
+					}
+					res, err := npb.Run(k, npb.RunConfig{
+						Model: model, Threads: threads, Policy: policy, Class: cl,
+					})
+					if err != nil {
+						log.Fatalf("%s on %s/%d: %v", app, model.Name, threads, err)
+					}
+					secs[i] = res.Seconds
+					walks[i] = res.Counters.DTLBWalks()
+				}
+				red := "-"
+				if walks[1] > 0 {
+					red = fmt.Sprintf("%.0fx", float64(walks[0])/float64(walks[1]))
+				}
+				fmt.Printf("%-6s%-12s%5d%12.4f%16.4f%11.1f%%%16s\n",
+					app, model.Name, threads, secs[0], secs[1],
+					stats.ImprovementPct(secs[0], secs[1]), red)
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/npb"
+	"hugeomp/internal/omp"
+)
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig("XeonHT", 8, "2M", "W", 3, "central", "true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Model.Name != "XeonHT" || cfg.Threads != 8 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.Policy != core.Policy2M || cfg.Class != npb.ClassW || cfg.Iterations != 3 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.Barrier != omp.CentralBarrier || cfg.Sharing != machine.ShareTrue {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestBuildConfigDefaultsAndAliases(t *testing.T) {
+	cfg, err := buildConfig("Opteron270", 1, "transparent", "t", 0, "tree", "partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy != core.PolicyTransparent || cfg.Class != npb.ClassT {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestBuildConfigRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		machine, pages, class, barrier, sharing string
+	}{
+		{"Pentium", "4K", "S", "tree", "partition"},
+		{"XeonHT", "1G", "S", "tree", "partition"},
+		{"XeonHT", "4K", "B", "tree", "partition"},
+		{"XeonHT", "4K", "S", "butterfly", "partition"},
+		{"XeonHT", "4K", "S", "tree", "exclusive"},
+	}
+	for _, c := range cases {
+		if _, err := buildConfig(c.machine, 2, c.pages, c.class, 0, c.barrier, c.sharing); err == nil {
+			t.Errorf("accepted %+v", c)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command sweep performs a sensitivity analysis of the reproduction's
+// conclusions against one cost-model parameter: it varies the parameter
+// across a range and reports how the large-page gain of a benchmark responds.
+// This answers "does the headline result depend on a lucky constant?" — the
+// CG gain should vary smoothly with the page-walk cost and vanish as the
+// walk becomes free.
+//
+// Usage:
+//
+//	sweep -param walkRefCyc -values 25,50,100,150,200 -app CG -class W
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/npb"
+	"hugeomp/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		param   = flag.String("param", "walkRefCyc", "cost parameter: walkRefCyc, memCyc, streamCyc, flushCyc or msgCyc")
+		values  = flag.String("values", "25,50,100,150,200", "comma-separated parameter values")
+		app     = flag.String("app", "CG", "benchmark")
+		class   = flag.String("class", "W", "problem class")
+		model   = flag.String("machine", "Opteron270", "platform")
+		threads = flag.Int("threads", 4, "thread count")
+	)
+	flag.Parse()
+
+	cl, err := npb.ParseClass(*class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, ok := machine.ModelByName(*model)
+	if !ok {
+		log.Fatalf("unknown machine %q", *model)
+	}
+
+	fmt.Printf("sensitivity of %s's 2MB-page gain to %s (%s, %d threads, class %s)\n\n",
+		*app, *param, base.Name, *threads, cl)
+	fmt.Printf("%12s%12s%12s%12s\n", *param, "4KB (s)", "2MB (s)", "gain")
+	for _, tok := range strings.Split(*values, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
+		if err != nil {
+			log.Fatalf("bad value %q: %v", tok, err)
+		}
+		m := base
+		if err := setCost(&m.Costs, *param, v); err != nil {
+			log.Fatal(err)
+		}
+		var secs [2]float64
+		for i, policy := range []core.PagePolicy{core.Policy4K, core.Policy2M} {
+			k, err := npb.New(*app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := npb.Run(k, npb.RunConfig{
+				Model: m, Threads: *threads, Policy: policy, Class: cl,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			secs[i] = res.Seconds
+		}
+		fmt.Printf("%12d%11.4fs%11.4fs%11.1f%%\n",
+			v, secs[0], secs[1], stats.ImprovementPct(secs[0], secs[1]))
+	}
+}
+
+func setCost(c *machine.Costs, name string, v uint64) error {
+	switch name {
+	case "walkRefCyc":
+		c.WalkRefCyc = v
+	case "memCyc":
+		c.MemCyc = v
+	case "streamCyc":
+		c.StreamCyc = v
+	case "flushCyc":
+		c.FlushCyc = v
+	case "msgCyc":
+		c.MsgCyc = v
+	default:
+		return fmt.Errorf("unknown parameter %q", name)
+	}
+	return nil
+}

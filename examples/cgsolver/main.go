@@ -1,0 +1,154 @@
+// CG solver: builds a sparse SPD system with the public API and solves it
+// with a hand-written conjugate-gradient loop on the simulated OpenMP
+// runtime, reporting how large pages change the gather-dominated matvec.
+// This is the paper's headline workload (25% faster at 4 threads with 2 MB
+// pages on the Opteron).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hugeomp"
+)
+
+const (
+	n     = 1 << 19 // 4 MB vectors: past the 4KB TLB reach, inside the 2MB reach
+	nzRow = 4
+	iters = 6
+)
+
+type system struct {
+	sys           *hugeomp.System
+	a             *hugeomp.Array
+	col           *hugeomp.Ints
+	x, z, p, q, r *hugeomp.Array
+}
+
+func build(policy hugeomp.PagePolicy) *system {
+	sys, err := hugeomp.NewSystem(hugeomp.Config{
+		Model:       hugeomp.Opteron270(),
+		Policy:      policy,
+		SharedBytes: 128 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &system{sys: sys}
+	s.a = sys.MustArray("a", n*nzRow)
+	s.col = sys.MustInts("col", n*nzRow)
+	s.x = sys.MustArray("x", n)
+	s.z = sys.MustArray("z", n)
+	s.p = sys.MustArray("p", n)
+	s.q = sys.MustArray("q", n)
+	s.r = sys.MustArray("r", n)
+	sys.Seal()
+
+	// Symmetric-free simple SPD construction: strictly dominant diagonal
+	// plus a symmetric pair per row (j, i) handled by mirroring values.
+	seed := uint64(42)
+	rnd := func() uint64 { seed = seed*6364136223846793005 + 1; return seed >> 16 }
+	for i := 0; i < n; i++ {
+		base := i * nzRow
+		sum := 0.0
+		for e := 0; e < nzRow-1; e++ {
+			j := int(rnd() % uint64(n))
+			v := float64(rnd()%1000)/1000 - 0.5
+			s.col.Data[base+e] = int64(j)
+			s.a.Data[base+e] = v
+			sum += math.Abs(v)
+		}
+		s.col.Data[base+nzRow-1] = int64(i)
+		s.a.Data[base+nzRow-1] = sum + 1
+		s.x.Data[i] = 1
+	}
+	return s
+}
+
+// matvec computes q = A p with simulated gathers.
+func (s *system) matvec(rt *hugeomp.RT) {
+	rt.ParallelFor(nil, n, hugeomp.For{Schedule: hugeomp.Static},
+		func(tid int, c *hugeomp.Context, lo, hi int) {
+			s.a.LoadRange(c, lo*nzRow, hi*nzRow)
+			s.col.LoadRange(c, lo*nzRow, hi*nzRow)
+			for i := lo; i < hi; i++ {
+				sum := 0.0
+				for e := i * nzRow; e < (i+1)*nzRow; e++ {
+					j := int(s.col.Data[e])
+					c.Load(s.p.Addr(j)) // random gather
+					sum += s.a.Data[e] * s.p.Data[j]
+				}
+				s.q.Data[i] = sum
+			}
+			s.q.StoreRange(c, lo, hi)
+		})
+}
+
+func (s *system) dot(rt *hugeomp.RT, x, y *hugeomp.Array) float64 {
+	return rt.ParallelForReduce(nil, n, hugeomp.For{}, 0,
+		func(tid int, c *hugeomp.Context, lo, hi int) float64 {
+			x.LoadRange(c, lo, hi)
+			y.LoadRange(c, lo, hi)
+			v := 0.0
+			for i := lo; i < hi; i++ {
+				v += x.Data[i] * y.Data[i]
+			}
+			return v
+		}, func(a, b float64) float64 { return a + b })
+}
+
+func solve(policy hugeomp.PagePolicy) (residual, secs float64, walks uint64) {
+	s := build(policy)
+	rt, err := s.sys.NewRT(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// z=0, r=p=x
+	rt.ParallelFor(nil, n, hugeomp.For{}, func(tid int, c *hugeomp.Context, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.z.Data[i] = 0
+			s.r.Data[i] = s.x.Data[i]
+			s.p.Data[i] = s.x.Data[i]
+		}
+		s.r.StoreRange(c, lo, hi)
+		s.p.StoreRange(c, lo, hi)
+	})
+	rho := s.dot(rt, s.r, s.r)
+	for it := 0; it < iters; it++ {
+		s.matvec(rt)
+		alpha := rho / s.dot(rt, s.p, s.q)
+		rt.ParallelFor(nil, n, hugeomp.For{}, func(tid int, c *hugeomp.Context, lo, hi int) {
+			s.z.LoadRange(c, lo, hi)
+			s.r.LoadRange(c, lo, hi)
+			s.p.LoadRange(c, lo, hi)
+			s.q.LoadRange(c, lo, hi)
+			for i := lo; i < hi; i++ {
+				s.z.Data[i] += alpha * s.p.Data[i]
+				s.r.Data[i] -= alpha * s.q.Data[i]
+			}
+			s.z.StoreRange(c, lo, hi)
+			s.r.StoreRange(c, lo, hi)
+		})
+		rhoNew := s.dot(rt, s.r, s.r)
+		beta := rhoNew / rho
+		rho = rhoNew
+		rt.ParallelFor(nil, n, hugeomp.For{}, func(tid int, c *hugeomp.Context, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s.p.Data[i] = s.r.Data[i] + beta*s.p.Data[i]
+			}
+			s.p.StoreRange(c, lo, hi)
+		})
+	}
+	return math.Sqrt(rho), rt.Seconds(), rt.TotalCounters().DTLBWalks()
+}
+
+func main() {
+	r4, s4, w4 := solve(hugeomp.Policy4K)
+	r2, s2, w2 := solve(hugeomp.Policy2M)
+	fmt.Printf("CG on %d unknowns, %d iterations, 4 threads, Opteron270\n\n", n, iters)
+	fmt.Printf("%-8s%14s%16s%14s\n", "pages", "residual", "sim time", "DTLB walks")
+	fmt.Printf("%-8s%14.3e%15.4fs%14d\n", "4KB", r4, s4, w4)
+	fmt.Printf("%-8s%14.3e%15.4fs%14d\n", "2MB", r2, s2, w2)
+	fmt.Printf("\n2MB pages are %.1f%% faster on the gather-bound solve\n", 100*(s4-s2)/s4)
+}

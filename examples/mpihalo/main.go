@@ -1,0 +1,89 @@
+// MPI halo exchange: the paper's final future-work item — "evaluate the
+// benefit of large pages on the performance of other programming paradigms
+// such as MPI". Four MPI-style ranks own slabs of a field and exchange
+// multi-megabyte halos through shared-memory staging buffers each step; the
+// page policy governs both the private slabs and the message path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hugeomp"
+)
+
+const (
+	ranks = 4
+	slab  = 1 << 19 // elements per rank (4 MB)
+	steps = 8
+)
+
+func run(policy hugeomp.PagePolicy) (secs float64, walks uint64) {
+	sys, err := hugeomp.NewSystem(hugeomp.Config{
+		Model:       hugeomp.Opteron270(),
+		Policy:      policy,
+		SharedBytes: 128 << 20,
+		PhysBytes:   1 << 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	field := sys.MustArray("field", ranks*slab)
+	halo := sys.MustArray("halo", ranks*slab)
+	for i := range field.Data {
+		field.Data[i] = float64(i % 100)
+	}
+	w, err := hugeomp.NewMPIWorld(sys, ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Run(func(r *hugeomp.MPIRank) {
+		mine := r.ID * slab
+		for s := 0; s < steps; s++ {
+			partner := r.ID ^ 1
+			theirs := partner * slab
+			r.SendRecv(partner, field, mine, mine+slab, halo, theirs, theirs+slab)
+			// Relax the slab against the received halo (compute phase).
+			field.LoadRange(r.C, mine, mine+slab)
+			for i := 0; i < slab; i++ {
+				field.Data[mine+i] = 0.5 * (field.Data[mine+i] + halo.Data[theirs+i])
+			}
+			field.StoreRange(r.C, mine, mine+slab)
+			r.C.Compute(uint64(2 * slab))
+			r.Barrier()
+		}
+		sum := 0.0
+		for i := 0; i < slab; i++ {
+			sum += field.Data[mine+i]
+		}
+		_ = r.Allreduce(sum)
+	})
+	return w.Seconds(), w.RT().TotalCounters().DTLBWalks()
+}
+
+func main() {
+	fmt.Printf("MPI halo exchange: %d ranks, %dMB slabs, %d steps (simulated Opteron270)\n\n",
+		ranks, slab*8>>20, steps)
+	fmt.Printf("%-14s%14s%14s\n", "pages", "sim time", "DTLB walks")
+	type row struct {
+		name   string
+		policy hugeomp.PagePolicy
+	}
+	var base float64
+	for _, r := range []row{
+		{"4KB", hugeomp.Policy4K},
+		{"2MB", hugeomp.Policy2M},
+		{"transparent", hugeomp.PolicyTransparent},
+	} {
+		s, wk := run(r.policy)
+		fmt.Printf("%-14s%13.4fs%14d", r.name, s, wk)
+		if r.name == "4KB" {
+			base = s
+		} else {
+			fmt.Printf("   (%.1f%% faster than 4KB)", 100*(base-s)/base)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nlarge pages remove the page walks of the copy-heavy message path;")
+	fmt.Println("transparent promotion pays first-touch faults and then matches 2MB.")
+}

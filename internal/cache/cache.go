@@ -1,0 +1,212 @@
+// Package cache implements the set-associative write-back data caches of the
+// simulated processors, plus a snooping bus that keeps private caches
+// coherent with a MESI protocol (the paper's Opterons keep their private
+// 1 MB L2s coherent by snooping over HyperTransport; the Xeon cores share an
+// L2 per chip instead).
+//
+// Caches are owned by one simulated context and are not goroutine-safe. The
+// machine layer either partitions shared caches among co-scheduled contexts
+// (its default deterministic model) or serialises access through the Bus.
+package cache
+
+import (
+	"fmt"
+
+	"hugeomp/internal/units"
+)
+
+// State is a MESI coherence state.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	default:
+		return "M"
+	}
+}
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int64
+	Ways      int
+	LineSize  int64 // defaults to units.CacheLineSize
+}
+
+type line struct {
+	tag   uint64
+	stamp uint64
+	state State
+}
+
+// Result reports what an access did.
+type Result struct {
+	Hit       bool
+	Writeback bool // a dirty (Modified) line was evicted
+	Evicted   uint64
+	HadEvict  bool
+}
+
+// Cache is one set-associative write-back LRU cache level.
+type Cache struct {
+	lines     []line
+	assoc     int
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+
+	id  int  // position on the bus, -1 if not attached
+	bus *Bus // nil when coherence is disabled
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	ls := cfg.LineSize
+	if ls == 0 {
+		ls = units.CacheLineSize
+	}
+	nLines := int(cfg.SizeBytes / ls)
+	if nLines <= 0 {
+		panic("cache: zero size")
+	}
+	assoc := cfg.Ways
+	if assoc <= 0 || assoc > nLines {
+		assoc = nLines
+	}
+	sets := nLines / assoc
+	if sets*assoc != nLines {
+		panic(fmt.Sprintf("cache: %d lines not divisible by %d ways", nLines, assoc))
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	shift := uint(0)
+	for 1<<shift != ls {
+		shift++
+	}
+	return &Cache{
+		lines:     make([]line, nLines),
+		assoc:     assoc,
+		setMask:   uint64(sets - 1),
+		lineShift: shift,
+		id:        -1,
+	}
+}
+
+// LineAddr converts a physical address into a line number.
+func (c *Cache) LineAddr(pa units.Addr) uint64 { return uint64(pa) >> c.lineShift }
+
+// Access looks up the line containing pa; on a miss it fills the line,
+// evicting the set's LRU way. write marks the line dirty (Modified).
+// Coherence (if the cache is attached to a Bus) is handled by the caller via
+// Bus.Access; this method is the raw, single-owner path.
+func (c *Cache) Access(lineAddr uint64, write bool) Result {
+	set := lineAddr & c.setMask
+	base := int(set) * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		l := &c.lines[base+i]
+		if l.state != Invalid && l.tag == lineAddr {
+			c.tick++
+			l.stamp = c.tick
+			if write {
+				l.state = Modified
+			}
+			return Result{Hit: true}
+		}
+	}
+	// Miss: choose victim.
+	victim, oldest := 0, ^uint64(0)
+	for i := 0; i < c.assoc; i++ {
+		l := &c.lines[base+i]
+		if l.state == Invalid {
+			victim, oldest = i, 0
+			break
+		}
+		if l.stamp < oldest {
+			victim, oldest = i, l.stamp
+		}
+	}
+	l := &c.lines[base+victim]
+	res := Result{}
+	if l.state != Invalid {
+		res.HadEvict = true
+		res.Evicted = l.tag
+		res.Writeback = l.state == Modified
+	}
+	c.tick++
+	st := Exclusive
+	if write {
+		st = Modified
+	}
+	*l = line{tag: lineAddr, stamp: c.tick, state: st}
+	return res
+}
+
+// Probe reports the state of lineAddr without touching LRU state.
+func (c *Cache) Probe(lineAddr uint64) State {
+	set := lineAddr & c.setMask
+	base := int(set) * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		l := &c.lines[base+i]
+		if l.state != Invalid && l.tag == lineAddr {
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+func (c *Cache) setState(lineAddr uint64, st State) {
+	set := lineAddr & c.setMask
+	base := int(set) * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		l := &c.lines[base+i]
+		if l.state != Invalid && l.tag == lineAddr {
+			if st == Invalid {
+				l.state = Invalid
+			} else {
+				l.state = st
+			}
+			return
+		}
+	}
+}
+
+// Flush invalidates every line, returning the number of dirty lines written
+// back.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for i := range c.lines {
+		if c.lines[i].state == Modified {
+			dirty++
+		}
+		c.lines[i] = line{}
+	}
+	return dirty
+}
+
+// Live returns the number of valid lines.
+func (c *Cache) Live() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// Lines returns total capacity in lines.
+func (c *Cache) Lines() int { return len(c.lines) }

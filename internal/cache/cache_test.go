@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hugeomp/internal/units"
+)
+
+func small() *Cache {
+	// 512B, 2-way, 64B lines -> 8 lines, 4 sets.
+	return New(Config{SizeBytes: 512, Ways: 2})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if r := c.Access(10, false); r.Hit {
+		t.Error("cold access hit")
+	}
+	if r := c.Access(10, false); !r.Hit {
+		t.Error("warm access missed")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := New(Config{SizeBytes: 64 * units.KB, Ways: 2})
+	if c.LineAddr(0) != 0 || c.LineAddr(63) != 0 || c.LineAddr(64) != 1 {
+		t.Error("LineAddr boundaries wrong")
+	}
+}
+
+func TestDirtyEvictionWriteback(t *testing.T) {
+	c := small()       // 4 sets: lines congruent mod 4 conflict
+	c.Access(0, true)  // set 0, dirty
+	c.Access(4, false) // set 0
+	r := c.Access(8, false)
+	if !r.HadEvict || !r.Writeback || r.Evicted != 0 {
+		t.Errorf("expected writeback of line 0, got %+v", r)
+	}
+	// Clean eviction: no writeback.
+	r = c.Access(12, false)
+	if !r.HadEvict || r.Writeback {
+		t.Errorf("expected clean eviction, got %+v", r)
+	}
+}
+
+func TestWriteMakesModified(t *testing.T) {
+	c := small()
+	c.Access(3, false)
+	if st := c.Probe(3); st != Exclusive {
+		t.Errorf("read fill state = %v, want E", st)
+	}
+	c.Access(3, true)
+	if st := c.Probe(3); st != Modified {
+		t.Errorf("after write = %v, want M", st)
+	}
+}
+
+func TestFlushCountsDirty(t *testing.T) {
+	c := small()
+	c.Access(0, true)
+	c.Access(1, true)
+	c.Access(2, false)
+	if d := c.Flush(); d != 2 {
+		t.Errorf("Flush wrote back %d lines, want 2", d)
+	}
+	if c.Live() != 0 {
+		t.Error("lines survive flush")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := small()
+	c.Access(0, false)
+	c.Access(4, false)
+	c.Access(0, false) // refresh 0; 4 is now LRU
+	r := c.Access(8, false)
+	if r.Evicted != 4 {
+		t.Errorf("evicted %d, want 4", r.Evicted)
+	}
+}
+
+// Property: live line count never exceeds capacity, and an access directly
+// after a fill always hits.
+func TestCapacityInvariant(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := New(Config{SizeBytes: 4 * units.KB, Ways: 4}) // 64 lines
+		for _, l := range lines {
+			c.Access(uint64(l), l%3 == 0)
+			if c.Live() > 64 {
+				return false
+			}
+			if !c.Access(uint64(l), false).Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("3-set cache should panic")
+		}
+	}()
+	New(Config{SizeBytes: 3 * 64, Ways: 1})
+}
+
+func TestMESIBusReadSharing(t *testing.T) {
+	bus := NewBus()
+	a := New(Config{SizeBytes: 1 * units.KB, Ways: 2})
+	b := New(Config{SizeBytes: 1 * units.KB, Ways: 2})
+	bus.Attach(a)
+	bus.Attach(b)
+
+	bus.Access(a, 5, false)
+	if st := a.Probe(5); st != Exclusive {
+		t.Errorf("sole reader state = %v, want E", st)
+	}
+	_, interv := bus.Access(b, 5, false)
+	if !interv {
+		t.Error("expected intervention from E peer")
+	}
+	if a.Probe(5) != Shared || b.Probe(5) != Shared {
+		t.Errorf("states after read share: %v/%v, want S/S", a.Probe(5), b.Probe(5))
+	}
+}
+
+func TestMESIBusWriteInvalidates(t *testing.T) {
+	bus := NewBus()
+	a := New(Config{SizeBytes: 1 * units.KB, Ways: 2})
+	b := New(Config{SizeBytes: 1 * units.KB, Ways: 2})
+	bus.Attach(a)
+	bus.Attach(b)
+
+	bus.Access(a, 9, false)
+	bus.Access(b, 9, false)
+	bus.Access(a, 9, true) // write: b's copy must die
+	if st := b.Probe(9); st != Invalid {
+		t.Errorf("peer state after remote write = %v, want I", st)
+	}
+	if st := a.Probe(9); st != Modified {
+		t.Errorf("writer state = %v, want M", st)
+	}
+	if bus.Invalidations == 0 {
+		t.Error("no invalidations counted")
+	}
+}
+
+func TestMESIModifiedIntervention(t *testing.T) {
+	bus := NewBus()
+	a := New(Config{SizeBytes: 1 * units.KB, Ways: 2})
+	b := New(Config{SizeBytes: 1 * units.KB, Ways: 2})
+	bus.Attach(a)
+	bus.Attach(b)
+
+	bus.Access(a, 3, true) // a: M
+	_, interv := bus.Access(b, 3, false)
+	if !interv {
+		t.Error("dirty peer must intervene")
+	}
+	if bus.Writebacks == 0 {
+		t.Error("M->S downgrade must write back")
+	}
+	if a.Probe(3) != Shared || b.Probe(3) != Shared {
+		t.Errorf("states = %v/%v, want S/S", a.Probe(3), b.Probe(3))
+	}
+}
+
+// MESI safety property: after any access sequence there is at most one M or
+// E owner of a line, and an M/E owner excludes Shared copies.
+func TestMESISafetyProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		bus := NewBus()
+		caches := []*Cache{
+			New(Config{SizeBytes: 512, Ways: 2}),
+			New(Config{SizeBytes: 512, Ways: 2}),
+			New(Config{SizeBytes: 512, Ways: 2}),
+		}
+		for _, c := range caches {
+			bus.Attach(c)
+		}
+		for _, op := range ops {
+			who := int(op) % 3
+			line := uint64(op/4) % 8
+			write := op%4 == 0
+			bus.Access(caches[who], line, write)
+			m, e, s := bus.Owners(line)
+			if m+e > 1 {
+				return false
+			}
+			if (m+e == 1) && s > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

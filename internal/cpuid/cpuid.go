@@ -1,0 +1,76 @@
+// Package cpuid reproduces the mechanism the paper used to build its Table 1
+// ("These sizes were measured through the CPUID instruction"): it exposes
+// the TLB descriptors of the simulated processors in a CPUID-like form and
+// formats the table of sizes and coverages.
+package cpuid
+
+import (
+	"fmt"
+	"strings"
+
+	"hugeomp/internal/machine"
+	"hugeomp/internal/units"
+)
+
+// Descriptor is one TLB structure as CPUID reports it.
+type Descriptor struct {
+	Structure string // e.g. "L1DTLB"
+	PageSize  units.PageSize
+	Entries   int
+	Ways      int // 0 = fully associative
+}
+
+// Coverage returns the bytes of address space the structure can map.
+func (d Descriptor) Coverage() int64 { return int64(d.Entries) * d.PageSize.Bytes() }
+
+// Enumerate returns the TLB descriptors of a processor model in a stable
+// order.
+func Enumerate(m machine.Model) []Descriptor {
+	return []Descriptor{
+		{"ITLB", units.Size4K, m.ITLB.L1.E4K.Entries, m.ITLB.L1.E4K.Ways},
+		{"ITLB", units.Size2M, m.ITLB.L1.E2M.Entries, m.ITLB.L1.E2M.Ways},
+		{"L1DTLB", units.Size4K, m.DTLB.L1.E4K.Entries, m.DTLB.L1.E4K.Ways},
+		{"L1DTLB", units.Size2M, m.DTLB.L1.E2M.Entries, m.DTLB.L1.E2M.Ways},
+		{"L2DTLB", units.Size4K, m.DTLB.L2.E4K.Entries, m.DTLB.L2.E4K.Ways},
+		{"L2DTLB", units.Size2M, m.DTLB.L2.E2M.Entries, m.DTLB.L2.E2M.Ways},
+	}
+}
+
+// Table1 renders the paper's Table 1 ("Processor TLB Sizes and Coverage")
+// for the given models.
+func Table1(models []machine.Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Processor TLB Sizes and Coverage\n")
+	fmt.Fprintf(&b, "%-24s", "")
+	for _, m := range models {
+		fmt.Fprintf(&b, "%12s", m.Name)
+	}
+	b.WriteByte('\n')
+
+	row := func(label string, get func(m machine.Model) string) {
+		fmt.Fprintf(&b, "%-24s", label)
+		for _, m := range models {
+			fmt.Fprintf(&b, "%12s", get(m))
+		}
+		b.WriteByte('\n')
+	}
+	entry := func(n int) string {
+		if n == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	row("ITLB (4KB) Size", func(m machine.Model) string { return entry(m.ITLB.L1.E4K.Entries) })
+	row("ITLB (2MB) Size", func(m machine.Model) string { return entry(m.ITLB.L1.E2M.Entries) })
+	row("L1DTLB (4KB) Size", func(m machine.Model) string { return entry(m.DTLB.L1.E4K.Entries) })
+	row("L1DTLB (2MB) Size", func(m machine.Model) string { return entry(m.DTLB.L1.E2M.Entries) })
+	row("L2DTLB (4KB) Size", func(m machine.Model) string { return entry(m.DTLB.L2.E4K.Entries) })
+	row("L2DTLB (2MB) Size", func(m machine.Model) string { return entry(m.DTLB.L2.E2M.Entries) })
+	row("DTLB (4KB) Coverage", func(m machine.Model) string {
+		return units.HumanBytes(m.DTLB.Coverage(units.Size4K))
+	})
+	row("DTLB (2MB) Coverage", func(m machine.Model) string {
+		return units.HumanBytes(m.DTLB.Coverage(units.Size2M))
+	})
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package cpuid
+
+import (
+	"strings"
+	"testing"
+
+	"hugeomp/internal/machine"
+	"hugeomp/internal/units"
+)
+
+func TestEnumerateOpteron(t *testing.T) {
+	ds := Enumerate(machine.Opteron270())
+	if len(ds) != 6 {
+		t.Fatalf("descriptor count = %d", len(ds))
+	}
+	byKey := map[string]Descriptor{}
+	for _, d := range ds {
+		byKey[d.Structure+"/"+d.PageSize.String()] = d
+	}
+	if got := byKey["L1DTLB/2MB"].Entries; got != 8 {
+		t.Errorf("Opteron L1DTLB 2MB entries = %d, want 8", got)
+	}
+	if got := byKey["L2DTLB/2MB"].Entries; got != 0 {
+		t.Errorf("Opteron L2DTLB must hold no 2MB entries, got %d", got)
+	}
+	if got := byKey["L2DTLB/4KB"].Entries; got != 512 {
+		t.Errorf("Opteron L2DTLB 4KB entries = %d, want 512", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	d := Descriptor{Structure: "L1DTLB", PageSize: units.Size2M, Entries: 8}
+	if d.Coverage() != 16*units.MB {
+		t.Errorf("coverage = %s", units.HumanBytes(d.Coverage()))
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	out := Table1([]machine.Model{machine.XeonHT(), machine.Opteron270()})
+	// The two load-bearing facts of the paper's Table 1.
+	for _, want := range []string{"64MB", "16MB", "XeonHT", "Opteron270", "ITLB (4KB) Size"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+	// Absent structures print as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("absent L2DTLB 2MB rows should print as -")
+	}
+}

@@ -1,0 +1,215 @@
+package hugetlbfs
+
+import (
+	"errors"
+	"testing"
+
+	"hugeomp/internal/mem"
+	"hugeomp/internal/pagetable"
+	"hugeomp/internal/units"
+)
+
+func TestPreallocateReservesImmediately(t *testing.T) {
+	phys := mem.New(32 * units.MB)
+	fs, err := Mount(phys, 8, Preallocate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := phys.Used2M(); got != 8 {
+		t.Errorf("physical 2M frames after mount = %d, want 8 (preallocation)", got)
+	}
+	if fs.FreePages() != 8 || fs.UsedPages() != 0 {
+		t.Errorf("free/used = %d/%d", fs.FreePages(), fs.UsedPages())
+	}
+}
+
+func TestOnDemandReservesLazily(t *testing.T) {
+	phys := mem.New(32 * units.MB)
+	fs, err := Mount(phys, 8, OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := phys.Used2M(); got != 0 {
+		t.Errorf("physical 2M frames after on-demand mount = %d, want 0", got)
+	}
+	if _, err := fs.Create("a", 2*units.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	if got := phys.Used2M(); got != 2 {
+		t.Errorf("frames after create = %d, want 2", got)
+	}
+}
+
+func TestMountFailsWhenPhysTooSmall(t *testing.T) {
+	phys := mem.New(8 * units.MB)
+	if _, err := Mount(phys, 100, Preallocate); err == nil {
+		t.Fatal("mount should fail")
+	}
+	// Rollback: nothing stays reserved.
+	if got := phys.Used2M(); got != 0 {
+		t.Errorf("frames leaked by failed mount: %d", got)
+	}
+}
+
+func TestCreateQuotaENOSPC(t *testing.T) {
+	phys := mem.New(64 * units.MB)
+	fs, _ := Mount(phys, 4, Preallocate)
+	if _, err := fs.Create("big", 3*units.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fs.Create("overflow", 2*units.PageSize2M)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Errorf("want ErrNoSpace, got %v", err)
+	}
+	// Failed create must not consume pages.
+	if fs.UsedPages() != 3 {
+		t.Errorf("used = %d, want 3", fs.UsedPages())
+	}
+}
+
+func TestCreateBadLength(t *testing.T) {
+	phys := mem.New(16 * units.MB)
+	fs, _ := Mount(phys, 4, Preallocate)
+	for _, n := range []int64{0, -1, units.PageSize4K, units.PageSize2M + 1} {
+		if _, err := fs.Create("x", n); !errors.Is(err, ErrBadLength) {
+			t.Errorf("Create(%d): want ErrBadLength, got %v", n, err)
+		}
+	}
+}
+
+func TestDuplicateName(t *testing.T) {
+	phys := mem.New(16 * units.MB)
+	fs, _ := Mount(phys, 4, Preallocate)
+	if _, err := fs.Create("f", units.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("f", units.PageSize2M); !errors.Is(err, ErrExists) {
+		t.Errorf("want ErrExists, got %v", err)
+	}
+}
+
+func TestRemoveRecycles(t *testing.T) {
+	phys := mem.New(16 * units.MB)
+	fs, _ := Mount(phys, 4, Preallocate)
+	if _, err := fs.Create("f", 4*units.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreePages() != 4 {
+		t.Errorf("free after remove = %d, want 4", fs.FreePages())
+	}
+	if _, err := fs.Create("g", 4*units.PageSize2M); err != nil {
+		t.Errorf("recycled pages unusable: %v", err)
+	}
+	if err := fs.Remove("nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("want ErrNotExist, got %v", err)
+	}
+}
+
+func TestMapInstalls2MTranslations(t *testing.T) {
+	phys := mem.New(16 * units.MB)
+	fs, _ := Mount(phys, 4, Preallocate)
+	f, err := fs.Create("data", 2*units.PageSize2M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pagetable.New()
+	base := units.Addr(64 * units.MB)
+	if err := f.Map(pt, base, pagetable.ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := pt.Translate(base + 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Entry.Size != units.Size2M {
+		t.Errorf("mapping size = %v, want 2MB", wr.Entry.Size)
+	}
+	if wr.MemRefs != 1 {
+		t.Errorf("walk refs = %d, want 1", wr.MemRefs)
+	}
+	if pt.Mapped2M() != 2 {
+		t.Errorf("Mapped2M = %d, want 2", pt.Mapped2M())
+	}
+	// Misaligned map rejected.
+	if err := f.Map(pt, base+4096, pagetable.ProtRW); err == nil {
+		t.Error("misaligned map should fail")
+	}
+}
+
+func TestOpen(t *testing.T) {
+	phys := mem.New(16 * units.MB)
+	fs, _ := Mount(phys, 4, Preallocate)
+	created, _ := fs.Create("data", units.PageSize2M)
+	opened, err := fs.Open("data")
+	if err != nil || opened != created {
+		t.Errorf("Open: %v, %p vs %p", err, opened, created)
+	}
+	if _, err := fs.Open("ghost"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("want ErrNotExist, got %v", err)
+	}
+	if created.Size() != units.PageSize2M || created.Name() != "data" {
+		t.Error("file metadata wrong")
+	}
+}
+
+func TestResizeGrowAndShrink(t *testing.T) {
+	phys := mem.New(64 * units.MB)
+	fs, err := Mount(phys, 4, Preallocate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Resize(8); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreePages() != 8 || phys.Used2M() != 8 {
+		t.Errorf("after grow: free %d, phys %d", fs.FreePages(), phys.Used2M())
+	}
+	if err := fs.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreePages() != 2 || phys.Used2M() != 2 {
+		t.Errorf("after shrink: free %d, phys %d", fs.FreePages(), phys.Used2M())
+	}
+}
+
+func TestResizeCannotEvictLiveFiles(t *testing.T) {
+	phys := mem.New(64 * units.MB)
+	fs, _ := Mount(phys, 8, Preallocate)
+	if _, err := fs.Create("live", 6*units.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	// The quota floors at the 6 in-use pages.
+	if got := fs.UsedPages(); got != 6 {
+		t.Errorf("used = %d", got)
+	}
+	if fs.FreePages() != 0 {
+		t.Errorf("free = %d, want 0", fs.FreePages())
+	}
+}
+
+func TestResizeStallsWhenPhysicalMemoryFragmented(t *testing.T) {
+	phys := mem.New(8 * units.MB) // four 2MB frames
+	fs, _ := Mount(phys, 2, Preallocate)
+	// Consume the remaining physical memory outside the pool.
+	if _, err := phys.Alloc2M(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := phys.Alloc2M(); err != nil {
+		t.Fatal(err)
+	}
+	err := fs.Resize(4)
+	if err == nil {
+		t.Fatal("resize should stall without physical memory")
+	}
+	// Partial growth is reported in the quota (like nr_hugepages reading
+	// back lower than what was written).
+	if fs.FreePages() != 2 {
+		t.Errorf("free = %d, want the 2 frames it could keep", fs.FreePages())
+	}
+}

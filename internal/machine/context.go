@@ -1,0 +1,396 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hugeomp/internal/cache"
+	"hugeomp/internal/pagetable"
+	"hugeomp/internal/profile"
+	"hugeomp/internal/tlb"
+	"hugeomp/internal/units"
+)
+
+const lineShift = 6 // 64-byte cache lines
+
+// FaultHandler services a protection fault raised during simulated access.
+// The SCASH coherence protocol installs one; after it returns nil the access
+// is retried.
+type FaultHandler func(va units.Addr, write bool) error
+
+// Context is one hardware thread context: the unit a simulated OpenMP thread
+// runs on. It owns (or, in true-sharing mode, co-owns behind locks) an ITLB
+// stack, a DTLB stack and an L1/L2 cache pair, and accumulates exact event
+// counts and cycle costs for every access.
+//
+// A Context is driven by exactly one goroutine at a time. Caches are indexed
+// by virtual line address (the simulated process is the only user of the
+// machine, so virtual≡physical indexing is behaviour-preserving and lets the
+// hot path skip PFN bookkeeping).
+type Context struct {
+	ID     int
+	Chip   int
+	Core   int
+	Thread int
+
+	machine *Machine
+	pt      *pagetable.Table
+	itlb    *tlb.Hierarchy
+	dtlb    *tlb.Hierarchy
+	l1      *cache.Cache
+	l2      *cache.Cache
+
+	coreMu *sync.Mutex // guards itlb/dtlb/l1 in true-sharing mode
+	l2Mu   *sync.Mutex // guards l2 in true-sharing mode
+
+	costs      *Costs
+	hasSibling bool // another context is co-scheduled on this core
+	smtFlush   bool // flush-on-switch SMT penalty applies
+
+	// OnFault, if set, services protection faults (SCASH coherence traps).
+	OnFault FaultHandler
+
+	// Page-size probe hints (most processes use one size class per segment).
+	dataHint  units.PageSize
+	fetchHint units.PageSize
+
+	// Micro-TLB: the translation of the last page touched. Purely a
+	// simulator fast path — consecutive same-page accesses are TLB hits by
+	// construction, so skipping the probe is behaviour-preserving. Writes
+	// only short-circuit when the cached entry carries the W bit.
+	lastDataBase  units.Addr
+	lastDataMask  units.Addr
+	lastDataW     bool
+	dataCacheOK   bool
+	lastFetchBase units.Addr
+	lastFetchMask units.Addr
+	fetchCacheOK  bool
+
+	// Stream-prefetcher state: the last line that missed to memory.
+	lastMissLine uint64
+
+	// Shootdown mailbox: cross-context TLB invalidations are delivered like
+	// IPIs — enqueued by the sender, drained by the owning goroutine at its
+	// next access — so no other goroutine ever mutates this context's TLBs.
+	shootFlag atomic.Bool
+	shootMu   sync.Mutex
+	pending   []shootReq
+
+	// Ctr accumulates this context's events. Busy is its cycle clock.
+	Ctr profile.Counters
+}
+
+type shootReq struct {
+	va   units.Addr
+	size units.PageSize
+	all  bool // full flush
+}
+
+// HasSibling reports whether an SMT sibling is co-scheduled on this core.
+func (c *Context) HasSibling() bool { return c.hasSibling }
+
+// Machine returns the owning machine.
+func (c *Context) Machine() *Machine { return c.machine }
+
+// DTLB exposes the data-TLB stack (tests and the cpuid reproduction).
+func (c *Context) DTLB() *tlb.Hierarchy { return c.dtlb }
+
+// ITLB exposes the instruction-TLB stack.
+func (c *Context) ITLB() *tlb.Hierarchy { return c.itlb }
+
+func (c *Context) resetPageCache() {
+	c.dataCacheOK = false
+	c.fetchCacheOK = false
+}
+
+// SetPageHint primes the page-size probe order (the core layer sets it from
+// the allocation policy so the common class is probed first).
+func (c *Context) SetPageHint(s units.PageSize) {
+	c.dataHint = s
+	c.fetchHint = s
+}
+
+// lockCore acquires the core lock in true-sharing mode.
+func (c *Context) lockCore() {
+	if c.coreMu != nil {
+		c.coreMu.Lock()
+	}
+}
+func (c *Context) unlockCore() {
+	if c.coreMu != nil {
+		c.coreMu.Unlock()
+	}
+}
+
+// translateData resolves va through the DTLB stack, walking the page table
+// on a full miss (or a write hitting a non-writable entry). It returns the
+// mapped page size, whether the filled entry is writable, and the cycle cost
+// beyond a first-level hit. Caller holds the core lock in true-sharing mode.
+func (c *Context) translateData(va units.Addr, write bool) (units.PageSize, bool, uint64) {
+	order := [2]units.PageSize{c.dataHint, c.dataHint ^ 1}
+	for _, s := range order {
+		vpn := s.VPN(va)
+		switch c.dtlb.Access(vpn, s, write) {
+		case tlb.HitL1:
+			c.dataHint = s
+			return s, write, 0
+		case tlb.HitL2:
+			c.dataHint = s
+			c.countL1Miss(s)
+			c.Ctr.DTLBL2Hit++
+			return s, write, c.costs.TLBL2Cyc
+		}
+	}
+	// Full miss: hardware page walk (servicing protection faults first).
+	wr := c.walk(va, write)
+	size := wr.Entry.Size
+	c.countL1Miss(size)
+	if size == units.Size2M {
+		c.Ctr.DTLBWalks2M++
+	} else {
+		c.Ctr.DTLBWalks4K++
+	}
+	cyc := uint64(wr.MemRefs) * c.costs.WalkRefCyc
+	c.Ctr.WalkCyc += cyc
+	writable := wr.Entry.Prot&pagetable.ProtWrite != 0
+	c.dtlb.Fill(size.VPN(va), size, writable)
+	c.dataHint = size
+	return size, writable, cyc
+}
+
+func (c *Context) countL1Miss(s units.PageSize) {
+	if s == units.Size2M {
+		c.Ctr.DTLBL1Miss2M++
+	} else {
+		c.Ctr.DTLBL1Miss4K++
+	}
+}
+
+func (c *Context) walk(va units.Addr, write bool) pagetable.WalkResult {
+	for {
+		wr, err := c.pt.Access(va, write)
+		if err == nil {
+			return wr
+		}
+		faultable := errors.Is(err, pagetable.ErrProtViolation) ||
+			errors.Is(err, pagetable.ErrNotMapped)
+		if faultable && c.OnFault != nil {
+			// Soft fault: protection trap (SCASH coherence) or demand
+			// paging (transparent huge pages). Charge the kernel
+			// entry/exit and fill cost to this context.
+			if ferr := c.OnFault(va, write); ferr != nil {
+				panic(fmt.Sprintf("machine: context %d fault handler failed at %#x: %v", c.ID, va, ferr))
+			}
+			c.Ctr.SoftFaults++
+			c.Ctr.Busy += c.costs.SoftFaultCyc
+			continue
+		}
+		panic(fmt.Sprintf("machine: context %d unhandled fault at %#x: %v", c.ID, va, err))
+	}
+}
+
+// cacheAccess runs the data-cache hierarchy for one line and returns its
+// cycle cost. Caller holds the core lock in true-sharing mode.
+func (c *Context) cacheAccess(line uint64, write bool) uint64 {
+	res := c.l1.Access(line, write)
+	if res.Hit {
+		c.Ctr.L1Hits++
+		return c.costs.L1HitCyc
+	}
+	c.Ctr.L1Misses++
+	if c.l2Mu != nil {
+		c.l2Mu.Lock()
+		defer c.l2Mu.Unlock()
+	}
+	var res2 cache.Result
+	interv := false
+	if bus := c.machine.bus; bus != nil {
+		res2, interv = bus.Access(c.l2, line, write)
+	} else {
+		res2 = c.l2.Access(line, write)
+	}
+	if res2.Hit {
+		c.Ctr.L2Hits++
+		return c.costs.L2HitCyc
+	}
+	c.Ctr.L2Misses++
+	cyc := c.costs.MemCyc
+	// Stream prefetcher: a miss continuing a sequential run is mostly
+	// hidden, except at 4 KB boundaries where the 2007-era prefetchers
+	// stop (64 lines of 64 B per 4 KB).
+	if line == c.lastMissLine+1 && line%64 != 0 {
+		cyc = c.costs.StreamCyc
+	}
+	c.lastMissLine = line
+	if interv {
+		cyc = c.costs.C2CCyc
+	}
+	c.Ctr.MemCyc += cyc
+	if c.smtFlush {
+		// The Xeon SMT implementation evicts the thread context on a memory
+		// load stall, flushing the pipeline (paper §3.2, §4.4).
+		c.Ctr.SMTSwitches++
+		c.Ctr.FlushCycles += c.costs.FlushCyc
+		cyc += c.costs.FlushCyc
+	}
+	return cyc
+}
+
+func (c *Context) dataAccess(va units.Addr, write bool) {
+	if write {
+		c.Ctr.Stores++
+	} else {
+		c.Ctr.Loads++
+	}
+	cyc := c.costs.ExecCyc
+	c.lockCore()
+	if c.shootFlag.Load() {
+		c.drainShootdowns()
+	}
+	if !c.dataCacheOK || va&^c.lastDataMask != c.lastDataBase || (write && !c.lastDataW) {
+		size, writable, tcyc := c.translateData(va, write)
+		cyc += tcyc
+		c.lastDataMask = size.Mask()
+		c.lastDataBase = va &^ c.lastDataMask
+		c.lastDataW = writable
+		c.dataCacheOK = true
+	}
+	cyc += c.cacheAccess(uint64(va)>>lineShift, write)
+	c.unlockCore()
+	c.Ctr.Busy += cyc
+}
+
+// Load simulates an 8-byte load at va.
+func (c *Context) Load(va units.Addr) { c.dataAccess(va, false) }
+
+// Store simulates an 8-byte store at va.
+func (c *Context) Store(va units.Addr) { c.dataAccess(va, true) }
+
+// AccessRange simulates n accesses at base, base+stride, base+2·stride, …
+// with exact TLB/cache behaviour; same-page probes are coalesced, which is
+// the simulator's dense-loop fast path.
+func (c *Context) AccessRange(base units.Addr, n int, stride int64, write bool) {
+	if n <= 0 {
+		return
+	}
+	if write {
+		c.Ctr.Stores += uint64(n)
+	} else {
+		c.Ctr.Loads += uint64(n)
+	}
+	c.lockCore()
+	var busy uint64
+	for i := 0; i < n; i++ {
+		va := base + units.Addr(int64(i)*stride)
+		cyc := c.costs.ExecCyc
+		if c.shootFlag.Load() {
+			c.drainShootdowns()
+		}
+		if !c.dataCacheOK || va&^c.lastDataMask != c.lastDataBase || (write && !c.lastDataW) {
+			size, writable, tcyc := c.translateData(va, write)
+			cyc += tcyc
+			c.lastDataMask = size.Mask()
+			c.lastDataBase = va &^ c.lastDataMask
+			c.lastDataW = writable
+			c.dataCacheOK = true
+		}
+		cyc += c.cacheAccess(uint64(va)>>lineShift, write)
+		busy += cyc
+	}
+	c.unlockCore()
+	c.Ctr.Busy += busy
+}
+
+// Fetch simulates one instruction-fetch block at code address va through the
+// ITLB stack.
+func (c *Context) Fetch(va units.Addr) {
+	c.Ctr.Fetches++
+	cyc := c.costs.FetchCyc
+	c.lockCore()
+	if c.shootFlag.Load() {
+		c.drainShootdowns()
+	}
+	if !c.fetchCacheOK || va&^c.lastFetchMask != c.lastFetchBase {
+		order := [2]units.PageSize{c.fetchHint, c.fetchHint ^ 1}
+		resolved := false
+		var size units.PageSize
+		for _, s := range order {
+			vpn := s.VPN(va)
+			if o := c.itlb.Access(vpn, s, false); o != tlb.Miss {
+				if o == tlb.HitL2 {
+					cyc += c.costs.TLBL2Cyc
+				}
+				size, resolved = s, true
+				break
+			}
+		}
+		if !resolved {
+			wr := c.walk(va, false)
+			size = wr.Entry.Size
+			c.Ctr.ITLBL1Miss++
+			c.Ctr.ITLBWalks++
+			w := uint64(wr.MemRefs) * c.costs.WalkRefCyc
+			c.Ctr.WalkCyc += w
+			cyc += w
+			c.itlb.Fill(size.VPN(va), size, false)
+		}
+		c.fetchHint = size
+		c.lastFetchMask = size.Mask()
+		c.lastFetchBase = va &^ c.lastFetchMask
+		c.fetchCacheOK = true
+	}
+	c.unlockCore()
+	c.Ctr.Busy += cyc
+}
+
+// Compute charges cyc cycles of pure computation (ALU/FPU work between
+// memory operations).
+func (c *Context) Compute(cyc uint64) { c.Ctr.Busy += cyc }
+
+// Wait charges cyc cycles of synchronisation/communication wait, attributing
+// them to the barrier counter.
+func (c *Context) Wait(cyc uint64) {
+	c.Ctr.Busy += cyc
+	c.Ctr.BarrierCyc += cyc
+}
+
+// InvalidatePage requests a TLB shootdown for the page of the given size at
+// va (used when SCASH changes page protections or THP promotes a chunk).
+// Like a real IPI it is asynchronous: the invalidation is applied by the
+// owning context at its next memory access.
+func (c *Context) InvalidatePage(va units.Addr, size units.PageSize) {
+	c.shootMu.Lock()
+	c.pending = append(c.pending, shootReq{va: va, size: size})
+	c.shootMu.Unlock()
+	c.shootFlag.Store(true)
+}
+
+// FlushTLBs requests a full TLB flush, applied at the context's next access.
+func (c *Context) FlushTLBs() {
+	c.shootMu.Lock()
+	c.pending = append(c.pending, shootReq{all: true})
+	c.shootMu.Unlock()
+	c.shootFlag.Store(true)
+}
+
+// drainShootdowns applies queued invalidations. Caller holds the core lock
+// in true-sharing mode.
+func (c *Context) drainShootdowns() {
+	c.shootMu.Lock()
+	reqs := c.pending
+	c.pending = nil
+	c.shootFlag.Store(false)
+	c.shootMu.Unlock()
+	for _, r := range reqs {
+		if r.all {
+			c.dtlb.Flush()
+			c.itlb.Flush()
+		} else {
+			c.dtlb.Invalidate(r.size.VPN(r.va), r.size)
+			c.itlb.Invalidate(r.size.VPN(r.va), r.size)
+		}
+	}
+	c.resetPageCache()
+}

@@ -1,0 +1,241 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hugeomp/internal/pagetable"
+	"hugeomp/internal/tlb"
+	"hugeomp/internal/units"
+)
+
+// TestAccessRangeEquivalenceProperty: for arbitrary (start, count, stride)
+// the bulk path must produce exactly the same counters as elementwise loads.
+func TestAccessRangeEquivalenceProperty(t *testing.T) {
+	mk := func() *Context {
+		pt := pagetable.New()
+		mapRange(t, pt, 0, 4*units.MB, units.Size4K)
+		m := New(Opteron270())
+		m.AttachProcess(pt)
+		ctxs, err := m.Configure(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctxs[0]
+	}
+	f := func(startRaw uint16, countRaw uint8, strideRaw uint16, write bool) bool {
+		count := int(countRaw)%200 + 1
+		stride := int64(strideRaw)%3000 + 1
+		start := units.Addr(startRaw)
+		// Keep within the mapped range.
+		if int64(start)+int64(count)*stride >= 4*units.MB {
+			return true
+		}
+		a, b := mk(), mk()
+		a.AccessRange(start, count, stride, write)
+		for i := 0; i < count; i++ {
+			if write {
+				b.Store(start + units.Addr(int64(i)*stride))
+			} else {
+				b.Load(start + units.Addr(int64(i)*stride))
+			}
+		}
+		return a.Ctr == b.Ctr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamPrefetcherCheapensSequentialMisses(t *testing.T) {
+	pt := pagetable.New()
+	mapRange(t, pt, 0, 8*units.MB, units.Size4K)
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+
+	// Sequential stream: misses after the first line of each page are
+	// prefetched.
+	ctxs, _ := m.Configure(1)
+	seq := ctxs[0]
+	seq.AccessRange(0, 1<<16, 64, false) // one access per line, 4MB
+
+	ctxs, _ = m.Configure(1)
+	rnd := ctxs[0]
+	// Strided past any prefetch window (stays within the mapped 8MB).
+	rnd.AccessRange(0, 1<<10, 8192, false)
+
+	if seq.Ctr.L2Misses == 0 || rnd.Ctr.L2Misses == 0 {
+		t.Fatal("expected misses in both runs")
+	}
+	seqPer := float64(seq.Ctr.MemCyc) / float64(seq.Ctr.L2Misses)
+	rndPer := float64(rnd.Ctr.MemCyc) / float64(rnd.Ctr.L2Misses)
+	if seqPer >= rndPer {
+		t.Errorf("sequential misses cost %.0f cyc vs strided %.0f; prefetcher missing", seqPer, rndPer)
+	}
+	if rndPer != float64(DefaultCosts().MemCyc) {
+		t.Errorf("strided misses cost %.0f, want full %d", rndPer, DefaultCosts().MemCyc)
+	}
+}
+
+func TestPrefetcherStopsAtPageBoundary(t *testing.T) {
+	pt := pagetable.New()
+	mapRange(t, pt, 0, units.MB, units.Size4K)
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+	ctxs, _ := m.Configure(1)
+	c := ctxs[0]
+	// 128 sequential lines span two pages: two full-cost misses (one per
+	// page head), the rest prefetched.
+	c.AccessRange(0, 128, 64, false)
+	costs := DefaultCosts()
+	wantMem := 2*costs.MemCyc + 126*costs.StreamCyc
+	if c.Ctr.MemCyc != wantMem {
+		t.Errorf("MemCyc = %d, want %d (prefetch must break at 4KB boundaries)", c.Ctr.MemCyc, wantMem)
+	}
+}
+
+func TestComputeAndWait(t *testing.T) {
+	pt := pagetable.New()
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+	ctxs, _ := m.Configure(1)
+	c := ctxs[0]
+	c.Compute(100)
+	c.Wait(50)
+	if c.Ctr.Busy != 150 || c.Ctr.BarrierCyc != 50 {
+		t.Errorf("busy=%d barrier=%d", c.Ctr.Busy, c.Ctr.BarrierCyc)
+	}
+}
+
+func TestInvalidatePageForcesRewalk(t *testing.T) {
+	pt := pagetable.New()
+	mapRange(t, pt, 0, units.MB, units.Size4K)
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+	ctxs, _ := m.Configure(1)
+	c := ctxs[0]
+	c.Load(0)
+	walks := c.Ctr.DTLBWalks()
+	c.Load(8) // same page: no walk
+	if c.Ctr.DTLBWalks() != walks {
+		t.Fatal("unexpected walk")
+	}
+	c.InvalidatePage(0, units.Size4K)
+	c.Load(16)
+	if c.Ctr.DTLBWalks() != walks+1 {
+		t.Error("shootdown did not force a re-walk")
+	}
+}
+
+func TestFaultHandlerRetries(t *testing.T) {
+	pt := pagetable.New()
+	if err := pt.Map(0, units.Size4K, 1, pagetable.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+	ctxs, _ := m.Configure(1)
+	c := ctxs[0]
+	faults := 0
+	c.OnFault = func(va units.Addr, write bool) error {
+		faults++
+		_, err := pt.Protect(0, pagetable.ProtRW)
+		return err
+	}
+	c.Store(0x10) // write to a read-only page: trap, upgrade, retry
+	if faults != 1 {
+		t.Errorf("fault handler ran %d times, want 1", faults)
+	}
+	if c.Ctr.Stores != 1 {
+		t.Error("store not completed after fault service")
+	}
+}
+
+func TestUnhandledFaultPanics(t *testing.T) {
+	pt := pagetable.New() // nothing mapped
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+	ctxs, _ := m.Configure(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("access to unmapped memory should panic (simulation bug trap)")
+		}
+	}()
+	ctxs[0].Load(0xdead000)
+}
+
+func TestSMTInterleavePolicyNoFlush(t *testing.T) {
+	model := XeonHT()
+	model.SMT = SMTInterleave
+	pt := pagetable.New()
+	mapRange(t, pt, 0, 16*units.MB, units.Size4K)
+	m := New(model)
+	m.AttachProcess(pt)
+	ctxs, _ := m.Configure(8)
+	c := ctxs[0]
+	c.AccessRange(0, 1000, 8192, false)
+	if c.Ctr.SMTSwitches != 0 {
+		t.Error("interleaved SMT must not charge flush penalties")
+	}
+	if !c.HasSibling() {
+		t.Error("sibling expected at 8 threads")
+	}
+}
+
+func TestL2PartitionAcrossChipSharers(t *testing.T) {
+	// Xeon: the chip L2 is shared by 2 cores at 4 threads (half each) and
+	// by 4 contexts at 8 threads (quarter each).
+	m := New(XeonHT())
+	m.AttachProcess(pagetable.New())
+	full := XeonHT().L2.SizeBytes
+	ctxs, _ := m.Configure(4)
+	if got := int64(ctxs[0].l2.Lines()) * units.CacheLineSize; got != full/2 {
+		t.Errorf("4-thread L2 share = %d, want %d", got, full/2)
+	}
+	ctxs, _ = m.Configure(8)
+	if got := int64(ctxs[0].l2.Lines()) * units.CacheLineSize; got != full/4 {
+		t.Errorf("8-thread L2 share = %d, want %d", got, full/4)
+	}
+	// Opteron L2 is private: never partitioned.
+	mo := New(Opteron270())
+	mo.AttachProcess(pagetable.New())
+	ctxs, _ = mo.Configure(4)
+	if got := int64(ctxs[0].l2.Lines()) * units.CacheLineSize; got != Opteron270().L2.SizeBytes {
+		t.Errorf("Opteron L2 share = %d, want private %d", got, Opteron270().L2.SizeBytes)
+	}
+}
+
+func TestShootdownMailboxIsAsynchronous(t *testing.T) {
+	pt := pagetable.New()
+	mapRange(t, pt, 0, units.MB, units.Size4K)
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+	ctxs, _ := m.Configure(2)
+	victim := ctxs[0]
+
+	victim.Load(0) // fill the translation
+	walks := victim.Ctr.DTLBWalks()
+
+	// A foreign goroutine queues the shootdown (the THP/SCASH hook calls
+	// victim.InvalidatePage); the victim's TLB structures are untouched
+	// until its own next access (IPI semantics).
+	victim.InvalidatePage(0, units.Size4K)
+	if !victim.shootFlag.Load() {
+		t.Fatal("shootdown not queued")
+	}
+	if victim.dtlb.Access(units.Size4K.VPN(0), units.Size4K, false) == tlb.Miss {
+		t.Fatal("shootdown mutated the TLB before the owner drained it")
+	}
+	victim.Load(8) // drains the mailbox, then must re-walk
+	if victim.Ctr.DTLBWalks() != walks+1 {
+		t.Errorf("walks = %d, want %d (re-walk after drained shootdown)",
+			victim.Ctr.DTLBWalks(), walks+1)
+	}
+	// FlushTLBs is delivered the same way.
+	victim.Load(16) // hit
+	victim.FlushTLBs()
+	victim.Load(24)
+	if victim.Ctr.DTLBWalks() != walks+2 {
+		t.Errorf("walks after flush = %d, want %d", victim.Ctr.DTLBWalks(), walks+2)
+	}
+}

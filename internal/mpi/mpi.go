@@ -1,0 +1,222 @@
+// Package mpi implements the paper's last future-work item ("we would also
+// like to evaluate the benefit of large pages on the performance of other
+// programming paradigms such as MPI"): a small intra-node message-passing
+// layer in the style of an MPI shared-memory device.
+//
+// Ranks are SPMD processes pinned to simulated hardware contexts. A message
+// is staged through a shared-memory buffer — the sender streams its source
+// buffer into the staging area, the receiver streams it out — with a
+// control-channel handshake per fragment, which is how intra-node MPI
+// devices of the era (e.g. MPICH's shm channel, or SCore's SMP device that
+// Omni/SCASH replaced) moved data. Because both the private buffers and the
+// staging area live in the System's data region, the page policy under test
+// (4 KB, 2 MB, mixed, transparent) governs every copy — which is exactly the
+// evaluation the paper proposed.
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/omp"
+	"hugeomp/internal/shmem"
+	"hugeomp/internal/units"
+)
+
+// StagingBytes is the size of each ordered pair's staging buffer; larger
+// messages are pipelined through it fragment by fragment.
+const StagingBytes = 64 * units.KB
+
+// World is an MPI communicator over n ranks.
+type World struct {
+	sys  *core.System
+	rt   *omp.RT
+	mesh *shmem.Mesh
+
+	staging []units.Addr     // staging[from*n+to]
+	payload []chan []float64 // out-of-band payload movement, same indexing
+	n       int
+}
+
+// NewWorld builds an n-rank world on sys. Staging buffers are allocated
+// from the shared data region, so the system's page policy applies to the
+// message path.
+func NewWorld(sys *core.System, n int) (*World, error) {
+	rt, err := sys.NewRT(n)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		sys:     sys,
+		rt:      rt,
+		mesh:    shmem.NewMesh(n),
+		staging: make([]units.Addr, n*n),
+		payload: make([]chan []float64, n*n),
+		n:       n,
+	}
+	for i := range w.staging {
+		addr, err := sys.Malloc(StagingBytes)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: staging buffer %d: %w", i, err)
+		}
+		w.staging[i] = addr
+		w.payload[i] = make(chan []float64, 64)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// RT exposes the underlying runtime (wall clock, counters).
+func (w *World) RT() *omp.RT { return w.rt }
+
+// Seconds returns the simulated wall-clock duration so far.
+func (w *World) Seconds() float64 { return w.rt.Seconds() }
+
+// Rank is one SPMD process.
+type Rank struct {
+	ID int
+	C  *machine.Context
+	w  *World
+}
+
+// Run executes body as an SPMD program: one goroutine per rank, wall-clock
+// accounted like a single parallel region.
+func (w *World) Run(body func(r *Rank)) {
+	w.rt.Parallel(nil, func(tid int, c *machine.Context) {
+		body(&Rank{ID: tid, C: c, w: w})
+	})
+}
+
+func (w *World) pair(from, to int) int { return from*w.n + to }
+
+// Send transmits elements [lo, hi) of arr to rank `to`. The transfer is
+// pipelined through the shared staging buffer: per fragment the sender
+// streams the source (read) and the staging area (write) and posts a
+// control message.
+func (r *Rank) Send(to int, arr *core.Array, lo, hi int) {
+	if to == r.ID {
+		panic("mpi: send to self")
+	}
+	w := r.w
+	p := w.pair(r.ID, to)
+	ch := w.mesh.Chan(r.ID, to)
+	costs := w.rt.Machine().Model.Costs
+	fragElems := int(StagingBytes / 8)
+	for base := lo; base < hi; base += fragElems {
+		end := base + fragElems
+		if end > hi {
+			end = hi
+		}
+		// Stream source out, staging in.
+		arr.LoadRange(r.C, base, end)
+		r.C.AccessRange(w.staging[p], end-base, 8, true)
+		// Payload moves out of band; the handshake is a real message.
+		frag := make([]float64, end-base)
+		copy(frag, arr.Data[base:end])
+		w.payload[p] <- frag
+		if err := ch.Send([]byte{1}); err != nil {
+			panic(fmt.Sprintf("mpi: control send: %v", err))
+		}
+		r.C.Wait(costs.MsgCyc)
+	}
+}
+
+// Recv receives into elements [lo, hi) of arr from rank `from`.
+func (r *Rank) Recv(from int, arr *core.Array, lo, hi int) {
+	if from == r.ID {
+		panic("mpi: recv from self")
+	}
+	w := r.w
+	p := w.pair(from, r.ID)
+	ch := w.mesh.Chan(from, r.ID)
+	costs := w.rt.Machine().Model.Costs
+	var ctl [8]byte
+	fragElems := int(StagingBytes / 8)
+	for base := lo; base < hi; base += fragElems {
+		end := base + fragElems
+		if end > hi {
+			end = hi
+		}
+		ch.Recv(ctl[:])
+		r.C.Wait(costs.MsgCyc)
+		// Stream staging out, destination in.
+		r.C.AccessRange(w.staging[p], end-base, 8, false)
+		arr.StoreRange(r.C, base, end)
+		frag := <-w.payload[p]
+		copy(arr.Data[base:end], frag)
+	}
+}
+
+// SendRecv exchanges with a partner (deadlock-free pairwise exchange: the
+// lower rank sends first).
+func (r *Rank) SendRecv(partner int, send *core.Array, slo, shi int, recv *core.Array, rlo, rhi int) {
+	if r.ID < partner {
+		r.Send(partner, send, slo, shi)
+		r.Recv(partner, recv, rlo, rhi)
+	} else {
+		r.Recv(partner, recv, rlo, rhi)
+		r.Send(partner, send, slo, shi)
+	}
+}
+
+// Barrier is a dissemination barrier across the world.
+func (r *Rank) Barrier() {
+	w := r.w
+	costs := w.rt.Machine().Model.Costs
+	var buf [8]byte
+	for round := 1; round < w.n; round <<= 1 {
+		to := (r.ID + round) % w.n
+		from := (r.ID - round + w.n) % w.n
+		if err := w.mesh.Chan(r.ID, to).Send([]byte{byte(round)}); err != nil {
+			panic(fmt.Sprintf("mpi: barrier send: %v", err))
+		}
+		r.C.Wait(costs.MsgCyc)
+		w.mesh.Chan(from, r.ID).Recv(buf[:])
+		r.C.Wait(costs.MsgCyc)
+	}
+}
+
+// Allreduce sums each rank's value across the world (recursive doubling on
+// scalars; O(log n) rounds of control messages). The world size must be a
+// power of two (as for the classic recursive-doubling algorithm).
+func (r *Rank) Allreduce(v float64) float64 {
+	w := r.w
+	if w.n&(w.n-1) != 0 {
+		panic(fmt.Sprintf("mpi: Allreduce requires a power-of-two world, have %d", w.n))
+	}
+	costs := w.rt.Machine().Model.Costs
+	var buf [16]byte
+	for round := 1; round < w.n; round <<= 1 {
+		to := (r.ID + round) % w.n
+		from := (r.ID - round + w.n) % w.n
+		var out [8]byte
+		putFloat(out[:], v)
+		if err := w.mesh.Chan(r.ID, to).Send(out[:]); err != nil {
+			panic(fmt.Sprintf("mpi: allreduce send: %v", err))
+		}
+		r.C.Wait(costs.MsgCyc)
+		n := w.mesh.Chan(from, r.ID).Recv(buf[:])
+		r.C.Wait(costs.MsgCyc)
+		v += getFloat(buf[:n])
+	}
+	return v
+}
+
+func putFloat(b []byte, f float64) {
+	bits := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(bits >> (8 * i))
+	}
+}
+
+func getFloat(b []byte) float64 {
+	var bits uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		bits |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(bits)
+}

@@ -1,0 +1,151 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/units"
+)
+
+func world(t *testing.T, policy core.PagePolicy, ranks int) (*World, *core.System) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{
+		Model:       machine.Opteron270(),
+		Policy:      policy,
+		SharedBytes: 64 * units.MB,
+		PhysBytes:   512 * units.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(sys, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, sys
+}
+
+func TestSendRecvMovesData(t *testing.T) {
+	w, sys := world(t, core.Policy4K, 2)
+	const n = 20000 // > one staging fragment (8192 elems)
+	src := sys.MustArray("src", n)
+	dst := sys.MustArray("dst", n)
+	for i := range src.Data {
+		src.Data[i] = float64(i) * 1.5
+	}
+	w.Run(func(r *Rank) {
+		switch r.ID {
+		case 0:
+			r.Send(1, src, 0, n)
+		case 1:
+			r.Recv(0, dst, 0, n)
+		}
+	})
+	for i := range dst.Data {
+		if dst.Data[i] != float64(i)*1.5 {
+			t.Fatalf("dst[%d] = %v", i, dst.Data[i])
+		}
+	}
+	// The transfer streamed both buffers and the staging area.
+	total := w.RT().TotalCounters()
+	if total.Loads == 0 || total.Stores == 0 {
+		t.Error("no simulated traffic from the transfer")
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	w, sys := world(t, core.Policy4K, 4)
+	const n = 4096
+	mine := sys.MustArray("mine", 4*n)
+	theirs := sys.MustArray("theirs", 4*n)
+	for i := range mine.Data {
+		mine.Data[i] = float64(i / n) // rank id
+	}
+	w.Run(func(r *Rank) {
+		partner := r.ID ^ 1
+		o := r.ID * n
+		po := partner * n
+		r.SendRecv(partner, mine, o, o+n, theirs, po, po+n)
+	})
+	for rank := 0; rank < 4; rank++ {
+		partner := rank ^ 1
+		if got := theirs.Data[partner*n]; got != float64(partner) {
+			t.Errorf("rank %d received %v from %d", rank, got, partner)
+		}
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	w, _ := world(t, core.Policy4K, 4)
+	var before, violations atomic.Int32
+	w.Run(func(r *Rank) {
+		before.Add(1)
+		r.Barrier()
+		if before.Load() != 4 {
+			violations.Add(1)
+		}
+	})
+	if violations.Load() != 0 {
+		t.Error("a rank passed the barrier before all arrived")
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	w, _ := world(t, core.Policy4K, 4)
+	results := make([]float64, 4)
+	w.Run(func(r *Rank) {
+		results[r.ID] = r.Allreduce(float64(r.ID + 1))
+	})
+	for rank, got := range results {
+		if got != 10 { // 1+2+3+4
+			t.Errorf("rank %d allreduce = %v, want 10", rank, got)
+		}
+	}
+}
+
+func TestAllreduceRequiresPow2(t *testing.T) {
+	w, _ := world(t, core.Policy4K, 3)
+	var panicked atomic.Bool
+	w.Run(func(r *Rank) {
+		defer func() {
+			if recover() != nil {
+				panicked.Store(true)
+			}
+		}()
+		r.Allreduce(1)
+	})
+	if !panicked.Load() {
+		t.Error("3-rank allreduce should panic")
+	}
+}
+
+func TestLargePagesHelpMessagePath(t *testing.T) {
+	// The paper's proposed MPI evaluation: halo-style exchanges of large
+	// buffers should walk far less with 2MB pages.
+	run := func(policy core.PagePolicy) (float64, uint64) {
+		w, sys := world(t, policy, 4)
+		const n = 1 << 19 // 4MB per array
+		a := sys.MustArray("a", n)
+		b := sys.MustArray("b", n)
+		w.Run(func(r *Rank) {
+			part := n / 4
+			o := r.ID * part
+			po := (r.ID ^ 1) * part
+			for step := 0; step < 2; step++ {
+				r.SendRecv(r.ID^1, a, o, o+part, b, po, po+part)
+				r.Barrier()
+			}
+		})
+		return w.Seconds(), w.RT().TotalCounters().DTLBWalks()
+	}
+	s4, w4 := run(core.Policy4K)
+	s2, w2 := run(core.Policy2M)
+	if w2*2 >= w4 {
+		t.Errorf("2M walks %d not well below 4K walks %d", w2, w4)
+	}
+	if s2 > s4 {
+		t.Errorf("2M pages slower on the message path: %v > %v", s2, s4)
+	}
+}

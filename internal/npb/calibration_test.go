@@ -1,0 +1,86 @@
+package npb
+
+import (
+	"testing"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/stats"
+)
+
+// TestHeadlineShapeBandsClassW locks in the paper's Figure 4 shape at class
+// W: the large-page gains of the five applications at 4 threads on the
+// Opteron must stay within bands around the paper's reported values
+// (CG ~25%, SP ~20%, MG ~17%, BT ~0, FT ~0). A cost-model or kernel change
+// that silently breaks the reproduction fails here.
+func TestHeadlineShapeBandsClassW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W sweep in -short mode")
+	}
+	bands := map[string][2]float64{ // min%, max%
+		"CG": {15, 40},
+		"SP": {8, 32},
+		"MG": {8, 32},
+		"BT": {-3, 8},
+		"FT": {-3, 14},
+	}
+	gains := map[string]float64{}
+	for _, name := range Names() {
+		var secs [2]float64
+		for i, policy := range []core.PagePolicy{core.Policy4K, core.Policy2M} {
+			k, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(k, RunConfig{
+				Model: machine.Opteron270(), Threads: 4, Policy: policy, Class: ClassW,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			secs[i] = res.Seconds
+		}
+		gain := stats.ImprovementPct(secs[0], secs[1])
+		gains[name] = gain
+		b := bands[name]
+		if gain < b[0] || gain > b[1] {
+			t.Errorf("%s: 2MB gain %.1f%% outside band [%.0f%%, %.0f%%]", name, gain, b[0], b[1])
+		}
+	}
+	// Relative ordering: the gaining group clearly beats the flat group.
+	for _, big := range []string{"CG", "SP", "MG"} {
+		for _, flat := range []string{"BT", "FT"} {
+			if gains[big] <= gains[flat] {
+				t.Errorf("%s gain (%.1f%%) should exceed %s gain (%.1f%%)",
+					big, gains[big], flat, gains[flat])
+			}
+		}
+	}
+}
+
+// TestXeonDegrades4To8ClassW locks in the paper's SMT scalability finding.
+func TestXeonDegrades4To8ClassW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W sweep in -short mode")
+	}
+	for _, name := range []string{"SP", "MG"} {
+		var secs [2]float64
+		for i, threads := range []int{4, 8} {
+			k, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(k, RunConfig{
+				Model: machine.XeonHT(), Threads: threads, Policy: core.Policy4K, Class: ClassW,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			secs[i] = res.Seconds
+		}
+		if secs[1] <= secs[0] {
+			t.Errorf("%s: 8 threads (%.4fs) faster than 4 (%.4fs); flush-on-switch SMT should degrade",
+				name, secs[1], secs[0])
+		}
+	}
+}

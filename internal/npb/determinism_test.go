@@ -1,0 +1,145 @@
+package npb
+
+import (
+	"math"
+	"testing"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+)
+
+// checksum extracts a solution fingerprint from a kernel after a run.
+func checksum(k Kernel) float64 {
+	switch v := k.(type) {
+	case *CG:
+		s := 0.0
+		for _, x := range v.z.Data {
+			s += x
+		}
+		return s
+	case *SP:
+		return v.checksum
+	case *BT:
+		return v.checksum
+	case *MG:
+		return v.normF
+	case *FT:
+		return v.maxErr
+	}
+	return math.NaN()
+}
+
+// TestNumericsIndependentOfPagePolicy: the page policy changes timing only;
+// the computed values must be bit-identical across 4K/2M/mixed/transparent.
+func TestNumericsIndependentOfPagePolicy(t *testing.T) {
+	for _, name := range Names() {
+		var ref float64
+		for i, policy := range []core.PagePolicy{
+			core.Policy4K, core.Policy2M, core.PolicyMixed, core.PolicyTransparent,
+		} {
+			k, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(k, RunConfig{
+				Model: machine.Opteron270(), Threads: 2, Policy: policy, Class: ClassT,
+			}); err != nil {
+				t.Fatalf("%s/%v: %v", name, policy, err)
+			}
+			got := checksum(k)
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if got != ref && !(math.IsNaN(got) && math.IsNaN(ref)) {
+				t.Errorf("%s: policy %v changed the numerics: %v != %v", name, policy, got, ref)
+			}
+		}
+	}
+}
+
+// TestNumericsIndependentOfMachine: the platform model changes timing only.
+func TestNumericsIndependentOfMachine(t *testing.T) {
+	for _, name := range Names() {
+		var ref float64
+		for i, model := range machine.Models() {
+			k, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(k, RunConfig{
+				Model: model, Threads: 4, Policy: core.Policy4K, Class: ClassT,
+			}); err != nil {
+				t.Fatalf("%s/%s: %v", name, model.Name, err)
+			}
+			got := checksum(k)
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if got != ref {
+				t.Errorf("%s: machine %s changed the numerics: %v != %v", name, model.Name, got, ref)
+			}
+		}
+	}
+}
+
+// TestThreadCountToleranceForNonReductions: BT and SP have no cross-thread
+// reduction inside their timestep loops, so their solutions are bit-identical
+// for any thread count. (CG/MG/FT fold reductions whose combine order varies
+// with the partition; those are covered with tolerance elsewhere.)
+func TestThreadCountToleranceForNonReductions(t *testing.T) {
+	for _, name := range []string{"BT", "SP"} {
+		var ref []float64
+		for _, threads := range []int{1, 2, 4} {
+			k, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(k, RunConfig{
+				Model: machine.Opteron270(), Threads: threads, Policy: core.Policy4K, Class: ClassT,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var data []float64
+			switch v := k.(type) {
+			case *BT:
+				data = v.u.Data
+			case *SP:
+				data = v.u.Data
+			}
+			if ref == nil {
+				ref = append([]float64(nil), data...)
+				continue
+			}
+			for i := range data {
+				if data[i] != ref[i] {
+					t.Fatalf("%s: threads=%d diverges at element %d: %v != %v",
+						name, threads, i, data[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRepeatedRunsIdentical: the whole simulation is deterministic — two
+// identical configurations produce identical cycle counts and counters.
+func TestRepeatedRunsIdentical(t *testing.T) {
+	run := func() Result {
+		k := NewMG()
+		res, err := Run(k, RunConfig{
+			Model: machine.XeonHT(), Threads: 8, Policy: core.Policy2M, Class: ClassT,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles {
+		t.Errorf("cycles differ: %d vs %d", a.Cycles, b.Cycles)
+	}
+	if a.Counters != b.Counters {
+		t.Errorf("counters differ:\n%+v\n%+v", a.Counters, b.Counters)
+	}
+}

@@ -1,0 +1,63 @@
+package npb
+
+import (
+	"fmt"
+	"testing"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+)
+
+// TestPrintGoldenChecksums regenerates the frozen values (run with
+//
+//	go test -run TestPrintGolden -v ./internal/npb/
+//
+// and update goldenT below when a kernel's numerics intentionally change).
+func TestPrintGoldenChecksums(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("generator; run with -v")
+	}
+	for _, name := range Names() {
+		k, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(k, RunConfig{
+			Model: machine.Opteron270(), Threads: 1, Policy: core.Policy4K, Class: ClassT,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%q: %q,", name, fmt.Sprintf("%.17g", checksum(k)))
+	}
+}
+
+// goldenT freezes the exact class-T single-thread results (like the NPB's
+// own verification values): any unintended change to a kernel's numerics,
+// input generation or iteration count fails here. The values are printed by
+// TestPrintGoldenChecksums.
+var goldenT = map[string]string{
+	"BT": "6447.9099413111962",
+	"CG": "40960.000000000015",
+	"FT": "3.554447978966673e-16",
+	"SP": "141.91608011916796",
+	"MG": "0.0073023466240107904",
+}
+
+func TestGoldenChecksumsClassT(t *testing.T) {
+	for _, name := range Names() {
+		k, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(k, RunConfig{
+			Model: machine.Opteron270(), Threads: 1, Policy: core.Policy4K, Class: ClassT,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%.17g", checksum(k))
+		if got != goldenT[name] {
+			t.Errorf("%s: checksum %s != frozen %s (regenerate with TestPrintGoldenChecksums if intended)",
+				name, got, goldenT[name])
+		}
+	}
+}

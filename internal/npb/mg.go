@@ -1,0 +1,366 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/omp"
+)
+
+// MG: a multigrid V-cycle solver. "MG works continuously on a set of grids
+// that are changed between coarse and fine. It tests both short and long
+// distance data movement" (paper §4.2).
+//
+// Scaling note (see DESIGN.md): the class-B MG grid is 256³ (884 MB); its
+// long-distance operations cross far more 4 KB pages than the DTLB holds.
+// To preserve that behaviour at class-A cost this reproduction uses a
+// SEMICOARSENING multigrid on an anisotropic grid — coarsened in z only,
+// smoothed by z-line relaxation — a standard MG formulation for anisotropic
+// problems. Short-distance movement is the plane-streamed residual/transfer
+// work; long-distance movement is the z-line smoother, whose element stride
+// is one full plane and whose page working set exceeds the 4 KB DTLB on the
+// fine levels (exactly the property the 256³ grid has at class B).
+type MG struct {
+	class  Class
+	levels int
+	nx, ny int
+	nzs    []int // nz per level (z-semicoarsening)
+
+	u []*core.Array // solution per level
+	r []*core.Array // residual per level
+	f []*core.Array // right-hand side per level (f[0] is the input field v)
+
+	codeSmooth *omp.CodeRegion
+	codeComm   *omp.CodeRegion
+	codeGrid   *omp.CodeRegion
+
+	norm0, normF float64
+	ran          bool
+}
+
+// NewMG returns a fresh MG kernel.
+func NewMG() *MG { return &MG{} }
+
+// Name implements Kernel.
+func (k *MG) Name() string { return "MG" }
+
+// PaperFootprint implements Kernel (Table 2, class B).
+func (k *MG) PaperFootprint() (int64, int64) { return mb(1.4), mb(884) }
+
+func (k *MG) geometry(class Class) (nx, ny, nzFine, levels int) {
+	// 12 KB planes (see SP) and fine nz past the DTLB capacity at W/A.
+	switch class {
+	case ClassS:
+		return 48, 32, 80, 3
+	case ClassW:
+		return 48, 32, 184, 4
+	case ClassA:
+		return 48, 32, 192, 4
+	default:
+		return 16, 16, 32, 2
+	}
+}
+
+// DefaultIterations implements Kernel: number of V-cycles.
+func (k *MG) DefaultIterations(class Class) int {
+	switch class {
+	case ClassW, ClassA:
+		return 4
+	default:
+		return 3
+	}
+}
+
+func (k *MG) size(l int) int { return k.nx * k.ny * k.nzs[l] }
+
+// idx flattens (i,j,kk) at level l, i fastest.
+func (k *MG) idx(l, i, j, kk int) int { return i + k.nx*(j+k.ny*kk) }
+
+// plane returns the number of points in one k-plane.
+func (k *MG) plane() int { return k.nx * k.ny }
+
+// Setup implements Kernel.
+func (k *MG) Setup(sys *core.System, class Class) error {
+	var nzFine int
+	k.nx, k.ny, nzFine, k.levels = k.geometry(class)
+	k.class = class
+	k.nzs = make([]int, k.levels)
+	for l := 0; l < k.levels; l++ {
+		k.nzs[l] = nzFine >> l
+		if k.nzs[l] < 8 {
+			return fmt.Errorf("mg: level %d too coarse (nz=%d)", l, k.nzs[l])
+		}
+	}
+	k.u = make([]*core.Array, k.levels)
+	k.r = make([]*core.Array, k.levels)
+	k.f = make([]*core.Array, k.levels)
+	var err error
+	for l := 0; l < k.levels; l++ {
+		if k.u[l], err = sys.NewArray(fmt.Sprintf("mg.u%d", l), k.size(l)); err != nil {
+			return err
+		}
+		if k.r[l], err = sys.NewArray(fmt.Sprintf("mg.r%d", l), k.size(l)); err != nil {
+			return err
+		}
+		name := fmt.Sprintf("mg.f%d", l)
+		if l == 0 {
+			name = "mg.v"
+		}
+		if k.f[l], err = sys.NewArray(name, k.size(l)); err != nil {
+			return err
+		}
+	}
+	if k.codeSmooth, err = sys.NewCodeRegion("mg.smooth", 64*1024); err != nil {
+		return err
+	}
+	if k.codeComm, err = sys.NewCodeRegion("mg.comm3", 24*1024); err != nil {
+		return err
+	}
+	if k.codeGrid, err = sys.NewCodeRegion("mg.gridops", 64*1024); err != nil {
+		return err
+	}
+
+	// Point charges, as in the NPB MG input.
+	rng := newLCG(577215)
+	v := k.f[0]
+	for c := 0; c < 20; c++ {
+		v.Data[rng.intn(len(v.Data))] = 1.0
+	}
+	for c := 0; c < 20; c++ {
+		v.Data[rng.intn(len(v.Data))] = -1.0
+	}
+	return nil
+}
+
+// comm3 exchanges the ghost faces of array a at level l: the constant-x
+// faces are copied with periodic wraparound, one strided column per k-plane.
+func (k *MG) comm3(rt *omp.RT, l int, a *core.Array) {
+	d := k.nx
+	rt.ParallelFor(k.codeComm, k.nzs[l], omp.For{Schedule: omp.Static},
+		func(tid int, c *machine.Context, lo, hi int) {
+			for kk := lo; kk < hi; kk++ {
+				for _, pair := range [2][2]int{{0, d - 2}, {d - 1, 1}} {
+					dst, src := pair[0], pair[1]
+					a.LoadStride(c, k.idx(l, src, 0, kk), k.ny, d)
+					a.StoreStride(c, k.idx(l, dst, 0, kk), k.ny, d)
+					for j := 0; j < k.ny; j++ {
+						a.Data[k.idx(l, dst, j, kk)] = a.Data[k.idx(l, src, j, kk)]
+					}
+				}
+				c.Compute(uint64(4 * k.ny))
+			}
+		})
+}
+
+// smooth performs one damped z-line relaxation sweep at level l: for every
+// (i,j) column the vertical part of the 7-point operator (−1, 6, −1) is
+// solved exactly by the Thomas algorithm against the current x/y neighbour
+// values (line Jacobi) — the long-distance operation: element stride is one
+// plane (12 KB), and on fine levels the column's page working set exceeds
+// the 4 KB DTLB.
+func (k *MG) smooth(rt *omp.RT, l int) {
+	nz := k.nzs[l]
+	pl := k.plane()
+	d := k.nx
+	u, f, old := k.u[l], k.f[l], k.r[l]
+	const omega = 0.85
+
+	// Jacobi: snapshot u into the scratch array (r is free between resid
+	// calls), so neighbour reads are race-free across threads.
+	rt.ParallelFor(k.codeGrid, u.Len(), omp.For{Schedule: omp.Static},
+		func(tid int, c *machine.Context, lo, hi int) {
+			u.LoadRange(c, lo, hi)
+			copy(old.Data[lo:hi], u.Data[lo:hi])
+			old.StoreRange(c, lo, hi)
+		})
+
+	rt.ParallelFor(k.codeSmooth, pl, omp.For{Schedule: omp.Static},
+		func(tid int, c *machine.Context, lo, hi int) {
+			cp := make([]float64, nz)
+			dp := make([]float64, nz)
+			for col := lo; col < hi; col++ {
+				i := col % d
+				j := col / d
+				if i == 0 || i == d-1 || j == 0 || j == k.ny-1 {
+					continue // ghosts and Dirichlet walls stay fixed
+				}
+				f.LoadStride(c, col, nz, pl)
+				old.LoadStride(c, col, nz, pl)
+				// rhs_t = f + x/y neighbours (previous sweep values);
+				// solve (−1, 6, −1) in z exactly by the Thomas algorithm.
+				cp[0] = -1.0 / 6.0
+				dp[0] = (f.Data[col] + old.Data[col-1] + old.Data[col+1] +
+					old.Data[col-d] + old.Data[col+d]) / 6.0
+				for t := 1; t < nz; t++ {
+					e := col + t*pl
+					den := 6.0 + cp[t-1]
+					cp[t] = -1.0 / den
+					rhs := f.Data[e] + old.Data[e-1] + old.Data[e+1] +
+						old.Data[e-d] + old.Data[e+d]
+					dp[t] = (rhs + dp[t-1]) / den
+				}
+				star := dp[nz-1]
+				e := col + (nz-1)*pl
+				u.Data[e] = (1-omega)*old.Data[e] + omega*star
+				for t := nz - 2; t >= 0; t-- {
+					star = dp[t] - cp[t]*star
+					e = col + t*pl
+					u.Data[e] = (1-omega)*old.Data[e] + omega*star
+				}
+				u.StoreStride(c, col, nz, pl)
+				c.Compute(uint64(14 * nz))
+			}
+		})
+	k.comm3(rt, l, u)
+}
+
+// resid computes r = f − A·u (A = −∇², 7-point) with plane streaming (the
+// short-distance movement).
+func (k *MG) resid(rt *omp.RT, l int) {
+	nz := k.nzs[l]
+	pl := k.plane()
+	d := k.nx
+	u, r, v := k.u[l], k.r[l], k.f[l]
+	rt.ParallelFor(k.codeSmooth, nz-2, omp.For{Schedule: omp.Static},
+		func(tid int, c *machine.Context, lo, hi int) {
+			for kk := lo + 1; kk < hi+1; kk++ {
+				u.LoadRange(c, (kk-1)*pl, (kk+2)*pl)
+				v.LoadRange(c, kk*pl, (kk+1)*pl)
+				for j := 1; j < k.ny-1; j++ {
+					for i := 1; i < d-1; i++ {
+						p := k.idx(l, i, j, kk)
+						lap := u.Data[p-1] + u.Data[p+1] +
+							u.Data[p-d] + u.Data[p+d] +
+							u.Data[p-pl] + u.Data[p+pl] - 6*u.Data[p]
+						r.Data[p] = v.Data[p] + lap
+					}
+				}
+				r.StoreRange(c, kk*pl, (kk+1)*pl)
+				c.Compute(uint64(10 * (k.ny - 2) * (d - 2)))
+			}
+		})
+	k.comm3(rt, l, r)
+}
+
+// rprj3 restricts the residual of level l into the right-hand side of level
+// l+1 by averaging adjacent z-planes (semicoarsening full weighting).
+func (k *MG) rprj3(rt *omp.RT, l int) {
+	nzc := k.nzs[l+1]
+	pl := k.plane()
+	fine, coarse := k.r[l], k.f[l+1]
+	rt.ParallelFor(k.codeGrid, nzc-1, omp.For{Schedule: omp.Static},
+		func(tid int, c *machine.Context, lo, hi int) {
+			for kc := lo; kc < hi; kc++ {
+				kf := 2 * kc
+				fine.LoadRange(c, kf*pl, (kf+2)*pl)
+				for p := 0; p < pl; p++ {
+					coarse.Data[kc*pl+p] = 0.5*fine.Data[kf*pl+p] + 0.5*fine.Data[(kf+1)*pl+p]
+				}
+				coarse.StoreRange(c, kc*pl, (kc+1)*pl)
+				c.Compute(uint64(2 * pl))
+			}
+		})
+}
+
+// interp prolongates the coarse correction up to level l and adds it.
+func (k *MG) interp(rt *omp.RT, l int) {
+	nzc := k.nzs[l+1]
+	pl := k.plane()
+	fine, coarse := k.u[l], k.u[l+1]
+	rt.ParallelFor(k.codeGrid, nzc-1, omp.For{Schedule: omp.Static},
+		func(tid int, c *machine.Context, lo, hi int) {
+			for kc := lo; kc < hi; kc++ {
+				kf := 2 * kc
+				coarse.LoadRange(c, kc*pl, (kc+1)*pl)
+				fine.LoadRange(c, kf*pl, (kf+2)*pl)
+				for p := 0; p < pl; p++ {
+					v := coarse.Data[kc*pl+p]
+					fine.Data[kf*pl+p] += v
+					fine.Data[(kf+1)*pl+p] += 0.5 * v
+				}
+				fine.StoreRange(c, kf*pl, (kf+2)*pl)
+				c.Compute(uint64(3 * pl))
+			}
+		})
+	k.comm3(rt, l, fine)
+}
+
+// zero clears u at a level.
+func (k *MG) zero(rt *omp.RT, l int) {
+	u := k.u[l]
+	rt.ParallelFor(k.codeGrid, u.Len(), omp.For{Schedule: omp.Static},
+		func(tid int, c *machine.Context, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u.Data[i] = 0
+			}
+			u.StoreRange(c, lo, hi)
+		})
+}
+
+// norm2 computes the RMS of the fine residual (norm2u3).
+func (k *MG) norm2(rt *omp.RT) float64 {
+	r := k.r[0]
+	s := rt.ParallelForReduce(k.codeGrid, r.Len(), omp.For{Schedule: omp.Static}, 0,
+		func(tid int, c *machine.Context, lo, hi int) float64 {
+			r.LoadRange(c, lo, hi)
+			p := 0.0
+			for i := lo; i < hi; i++ {
+				p += r.Data[i] * r.Data[i]
+			}
+			c.Compute(uint64(2 * (hi - lo)))
+			return p
+		}, func(a, b float64) float64 { return a + b })
+	return math.Sqrt(s / float64(r.Len()))
+}
+
+// vcycle: pre-smooth, restrict residuals down the hierarchy, smooth the
+// coarse correction equations, prolongate back up with post-smoothing (a
+// standard correction-scheme V-cycle).
+func (k *MG) vcycle(rt *omp.RT) {
+	for l := 0; l < k.levels-1; l++ {
+		k.resid(rt, l)
+		k.rprj3(rt, l) // r[l] -> f[l+1]
+		k.zero(rt, l+1)
+	}
+	k.smooth(rt, k.levels-1) // bottom solve (one exact-in-z sweep)
+	for l := k.levels - 2; l >= 0; l-- {
+		k.interp(rt, l)
+		k.smooth(rt, l) // post-smooth (sawtooth cycle)
+	}
+}
+
+// Run implements Kernel.
+func (k *MG) Run(rt *omp.RT, iterations int) error {
+	k.resid(rt, 0)
+	k.norm0 = k.norm2(rt)
+	for it := 0; it < iterations; it++ {
+		k.vcycle(rt)
+	}
+	k.resid(rt, 0)
+	k.normF = k.norm2(rt)
+	k.ran = true
+	return nil
+}
+
+// Verify implements Kernel: V-cycles must reduce the fine-grid residual.
+func (k *MG) Verify() error {
+	if !k.ran {
+		return fmt.Errorf("mg: not run")
+	}
+	if math.IsNaN(k.normF) || math.IsInf(k.normF, 0) {
+		return fmt.Errorf("mg: norm not finite")
+	}
+	if k.normF >= k.norm0 {
+		return fmt.Errorf("mg: residual did not decrease: %g -> %g", k.norm0, k.normF)
+	}
+	for _, a := range k.u {
+		for i, v := range a.Data {
+			if math.IsNaN(v) || math.Abs(v) > 1e9 {
+				return fmt.Errorf("mg: %s diverged at %d: %g", a.Name, i, v)
+			}
+		}
+	}
+	return nil
+}

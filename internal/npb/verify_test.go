@@ -1,0 +1,82 @@
+package npb
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+)
+
+// Negative tests: each kernel's Verify must catch corrupted results — a
+// simulator whose verification never fires is not verifying anything.
+
+func runKernel(t *testing.T, name string) Kernel {
+	t.Helper()
+	k, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(k, RunConfig{
+		Model: machine.Opteron270(), Threads: 2, Policy: core.Policy4K, Class: ClassT,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestVerifyCatchesUnrun(t *testing.T) {
+	for _, name := range Names() {
+		k, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Verify(); err == nil {
+			t.Errorf("%s: Verify passed without a run", name)
+		}
+	}
+}
+
+func TestVerifyCatchesNaN(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		poison func(Kernel)
+	}{
+		{"CG", func(k Kernel) { k.(*CG).rhoFinal = math.NaN() }},
+		{"SP", func(k Kernel) { k.(*SP).u.Data[0] = math.NaN() }},
+		{"BT", func(k Kernel) { k.(*BT).u.Data[0] = math.NaN() }},
+		{"MG", func(k Kernel) { k.(*MG).u[0].Data[0] = math.NaN() }},
+		{"FT", func(k Kernel) { k.(*FT).maxErr = 1.0 }},
+	} {
+		k := runKernel(t, tc.name)
+		if err := k.Verify(); err != nil {
+			t.Fatalf("%s: clean run failed verification: %v", tc.name, err)
+		}
+		tc.poison(k)
+		if err := k.Verify(); err == nil {
+			t.Errorf("%s: Verify passed on poisoned results", tc.name)
+		}
+	}
+}
+
+func TestVerifyCatchesDivergence(t *testing.T) {
+	k := runKernel(t, "SP").(*SP)
+	k.u.Data[42] = 1e9
+	if err := k.Verify(); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("SP divergence not caught: %v", err)
+	}
+}
+
+func TestVerifyCatchesStagnantResidual(t *testing.T) {
+	k := runKernel(t, "MG").(*MG)
+	k.normF = k.norm0 * 2
+	if err := k.Verify(); err == nil {
+		t.Error("MG residual growth not caught")
+	}
+	cg := runKernel(t, "CG").(*CG)
+	cg.rhoFinal = cg.rho0
+	if err := cg.Verify(); err == nil {
+		t.Error("CG stagnation not caught")
+	}
+}

@@ -1,0 +1,569 @@
+// Package omp is the OpenMP runtime of the reproduction: a fork-join
+// execution model (the paper's Figure 1) with worksharing loops
+// (static/dynamic/guided schedules), barriers, reductions, critical sections
+// and single regions, executing on the simulated hardware contexts of a
+// machine.Machine.
+//
+// Timing model: each context accumulates busy cycles for its own work; a
+// parallel region's wall-clock cost is the maximum busy delta over physical
+// cores (SMT siblings co-scheduled on one core serialise, so a core's delta
+// is the SUM of its contexts' deltas — this is what makes the Xeon's
+// 8-thread runs scale poorly, as in the paper's Figure 4), plus fork
+// overhead. Barriers and reductions move real messages over the
+// shared-memory channel mesh and charge per-message cycles to the
+// participants.
+package omp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hugeomp/internal/machine"
+	"hugeomp/internal/profile"
+	"hugeomp/internal/shmem"
+	"hugeomp/internal/units"
+)
+
+// ScheduleKind selects a worksharing schedule.
+type ScheduleKind uint8
+
+const (
+	Static ScheduleKind = iota
+	Dynamic
+	Guided
+)
+
+// String implements fmt.Stringer.
+func (k ScheduleKind) String() string {
+	switch k {
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return "static"
+	}
+}
+
+// For configures a worksharing loop, like the schedule clause of `#pragma
+// omp parallel for`.
+type For struct {
+	Schedule ScheduleKind
+	Chunk    int  // chunk size; 0 means schedule default
+	NoWait   bool // skip the implicit barrier at loop end
+}
+
+// BarrierAlgo selects the barrier implementation.
+type BarrierAlgo uint8
+
+const (
+	// CentralBarrier: gather at the master, then broadcast (2·(T−1)
+	// messages through the master — serialises there).
+	CentralBarrier BarrierAlgo = iota
+	// TreeBarrier: dissemination barrier, ⌈log2 T⌉ rounds of pairwise
+	// messages.
+	TreeBarrier
+)
+
+// String implements fmt.Stringer.
+func (b BarrierAlgo) String() string {
+	if b == TreeBarrier {
+		return "tree"
+	}
+	return "central"
+}
+
+// CodeRegion describes the code footprint of a parallel region: entering
+// the region fetches each (4 KB) code page once per thread, which is how the
+// instruction-TLB behaviour of the paper's Figure 3 arises.
+type CodeRegion struct {
+	Name string
+	Base units.Addr
+	Size int64
+}
+
+func (r *CodeRegion) touch(c *machine.Context) {
+	if r == nil {
+		return
+	}
+	for off := int64(0); off < r.Size; off += units.PageSize4K {
+		c.Fetch(r.Base + units.Addr(off))
+	}
+}
+
+// RT is an OpenMP runtime instance bound to a machine and a thread count.
+type RT struct {
+	m       *machine.Machine
+	ctxs    []*machine.Context
+	mesh    *shmem.Mesh
+	barrier BarrierAlgo
+
+	wall    uint64 // simulated wall-clock cycles accumulated so far
+	regions uint64 // parallel regions executed
+	inPar   bool   // guard against nested Parallel (unsupported, like Omni)
+
+	msgBuf [][]byte // per-thread scratch for barrier payloads
+
+	// Per-code-region profile (the OProfile per-symbol view): aggregated
+	// counter deltas and wall cycles for every named CodeRegion.
+	regionProf map[string]*RegionProfile
+}
+
+// RegionProfile aggregates the activity attributed to one named parallel
+// region across the run.
+type RegionProfile struct {
+	Name       string
+	Entries    uint64 // times the region executed
+	WallCycles uint64 // wall-clock cycles attributed to the region
+	Counters   profile.Counters
+}
+
+// Option customises the runtime.
+type Option func(*RT)
+
+// WithBarrier selects the barrier algorithm.
+func WithBarrier(b BarrierAlgo) Option { return func(rt *RT) { rt.barrier = b } }
+
+// New builds a runtime with nthreads threads on m. The machine must already
+// have a process page table attached.
+func New(m *machine.Machine, nthreads int, opts ...Option) (*RT, error) {
+	ctxs, err := m.Configure(nthreads)
+	if err != nil {
+		return nil, err
+	}
+	rt := &RT{
+		m:          m,
+		ctxs:       ctxs,
+		mesh:       shmem.NewMesh(nthreads),
+		barrier:    TreeBarrier,
+		regionProf: make(map[string]*RegionProfile),
+	}
+	rt.msgBuf = make([][]byte, nthreads)
+	for i := range rt.msgBuf {
+		rt.msgBuf[i] = make([]byte, shmem.MaxMsgSize)
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	return rt, nil
+}
+
+// Threads returns the team size.
+func (rt *RT) Threads() int { return len(rt.ctxs) }
+
+// Machine returns the underlying machine.
+func (rt *RT) Machine() *machine.Machine { return rt.m }
+
+// Contexts returns the team's hardware contexts.
+func (rt *RT) Contexts() []*machine.Context { return rt.ctxs }
+
+// Mesh exposes the channel fabric (tests).
+func (rt *RT) Mesh() *shmem.Mesh { return rt.mesh }
+
+// WallCycles returns the simulated wall-clock cycles accumulated by serial
+// sections and parallel regions so far.
+func (rt *RT) WallCycles() uint64 { return rt.wall }
+
+// Seconds converts the accumulated wall clock to simulated seconds.
+func (rt *RT) Seconds() float64 { return rt.m.Seconds(rt.wall) }
+
+// Regions returns the number of parallel regions executed.
+func (rt *RT) Regions() uint64 { return rt.regions }
+
+// AddSerial charges cyc cycles of master-only serial execution to the wall
+// clock (the sequential sections of the fork-join model).
+func (rt *RT) AddSerial(cyc uint64) { rt.wall += cyc }
+
+// Serial runs fn on the master context and charges its busy delta to the
+// wall clock (sequential section between parallel regions).
+func (rt *RT) Serial(fn func(c *machine.Context)) {
+	c := rt.ctxs[0]
+	before := c.Ctr.Busy
+	fn(c)
+	rt.wall += c.Ctr.Busy - before
+}
+
+// Parallel executes body on every thread of the team (the fork-join of
+// `#pragma omp parallel`), including the implicit barrier, and advances the
+// wall clock by the region's cost.
+func (rt *RT) Parallel(code *CodeRegion, body func(tid int, c *machine.Context)) {
+	if rt.inPar {
+		panic("omp: nested parallel regions are not supported (Omni serialises them)")
+	}
+	rt.inPar = true
+	defer func() { rt.inPar = false }()
+
+	n := len(rt.ctxs)
+	before := make([]profile.Counters, n)
+	for i, c := range rt.ctxs {
+		before[i] = c.Ctr
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(tid int) {
+			defer wg.Done()
+			c := rt.ctxs[tid]
+			code.touch(c)
+			body(tid, c)
+			rt.barrierWait(tid)
+		}(i)
+	}
+	wg.Wait()
+
+	// Wall-clock cost: SMT siblings serialise on their core, so sum busy
+	// deltas per core and take the slowest core.
+	rt.accountRegion(code, before)
+}
+
+// barrierWait performs the team barrier with real messages over the mesh,
+// charging per-message cycles to each participant.
+func (rt *RT) barrierWait(tid int) {
+	n := len(rt.ctxs)
+	if n == 1 {
+		return
+	}
+	c := rt.ctxs[tid]
+	msg := rt.msgBuf[tid]
+	cost := rt.m.Model.Costs.MsgCyc
+	switch rt.barrier {
+	case CentralBarrier:
+		if tid == 0 {
+			for j := 1; j < n; j++ {
+				rt.mesh.Chan(j, 0).Recv(msg)
+				c.Wait(cost)
+			}
+			for j := 1; j < n; j++ {
+				if err := rt.mesh.Chan(0, j).Send([]byte{1}); err != nil {
+					panic(fmt.Sprintf("omp: barrier send: %v", err))
+				}
+				c.Wait(cost)
+			}
+		} else {
+			if err := rt.mesh.Chan(tid, 0).Send([]byte{1}); err != nil {
+				panic(fmt.Sprintf("omp: barrier send: %v", err))
+			}
+			c.Wait(cost)
+			rt.mesh.Chan(0, tid).Recv(msg)
+			c.Wait(cost)
+		}
+	case TreeBarrier:
+		// Dissemination barrier: round r exchanges with tid±2^r.
+		for r := 1; r < n; r <<= 1 {
+			to := (tid + r) % n
+			from := (tid - r + n) % n
+			if err := rt.mesh.Chan(tid, to).Send([]byte{byte(r)}); err != nil {
+				panic(fmt.Sprintf("omp: barrier send: %v", err))
+			}
+			c.Wait(cost)
+			rt.mesh.Chan(from, tid).Recv(msg)
+			c.Wait(cost)
+		}
+	}
+}
+
+// Barrier runs a standalone team barrier as its own mini-region (usable only
+// outside Parallel; inside a region the loop constructs provide the implied
+// barriers).
+func (rt *RT) Barrier() {
+	rt.Parallel(nil, func(int, *machine.Context) {})
+}
+
+// chunkFor computes the effective chunk for a schedule.
+func (f For) chunk(n, nthreads int) int {
+	if f.Chunk > 0 {
+		return f.Chunk
+	}
+	switch f.Schedule {
+	case Dynamic:
+		return 1
+	case Guided:
+		return 1 // minimum chunk; guided computes per-grab
+	default:
+		return (n + nthreads - 1) / nthreads
+	}
+}
+
+// ParallelFor executes `#pragma omp parallel for` over the iteration space
+// [0, n): body(tid, c, lo, hi) processes iterations [lo, hi). The schedule
+// determines how iterations map to threads; dynamic/guided grabs charge an
+// atomic-operation cost per chunk.
+//
+// Static schedules run the team as real goroutines. Dynamic and guided
+// schedules dispatch chunks in *simulated-time* order — always to the
+// context with the least accumulated busy time — executed sequentially; this
+// keeps the load balancing deterministic and faithful to what the schedule
+// would do on real hardware, instead of depending on Go scheduler timing.
+func (rt *RT) ParallelFor(code *CodeRegion, n int, f For, body func(tid int, c *machine.Context, lo, hi int)) {
+	nt := len(rt.ctxs)
+	switch f.Schedule {
+	case Static:
+		chunk := f.chunk(n, nt)
+		rt.Parallel(code, func(tid int, c *machine.Context) {
+			// Chunked round-robin; with the default chunk this is one
+			// contiguous block per thread.
+			for lo := tid * chunk; lo < n; lo += nt * chunk {
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(tid, c, lo, hi)
+			}
+		})
+	case Dynamic, Guided:
+		rt.virtualTimeFor(code, n, f, body)
+	}
+	_ = f.NoWait // the implicit barrier is part of Parallel; NoWait regions
+	// are expressed by fusing loops into one Parallel call.
+}
+
+// virtualTimeFor implements dynamic/guided worksharing by virtual-time
+// simulation: the next chunk always goes to the thread whose simulated clock
+// is furthest behind, which is exactly what a work queue yields on real
+// hardware when threads grab chunks as they finish.
+func (rt *RT) virtualTimeFor(code *CodeRegion, n int, f For, body func(tid int, c *machine.Context, lo, hi int)) {
+	if rt.inPar {
+		panic("omp: nested parallel regions are not supported (Omni serialises them)")
+	}
+	rt.inPar = true
+	defer func() { rt.inPar = false }()
+
+	nt := len(rt.ctxs)
+	before := make([]profile.Counters, nt)
+	for i, c := range rt.ctxs {
+		before[i] = c.Ctr
+		code.touch(c)
+	}
+	delta := func(i int) uint64 { return rt.ctxs[i].Ctr.Busy - before[i].Busy }
+
+	minChunk := f.chunk(n, nt)
+	remaining := n
+	lo := 0
+	for remaining > 0 {
+		// Pick the most-idle context.
+		tid := 0
+		for i := 1; i < nt; i++ {
+			if delta(i) < delta(tid) {
+				tid = i
+			}
+		}
+		sz := minChunk
+		if f.Schedule == Guided {
+			if g := remaining / (2 * nt); g > sz {
+				sz = g
+			}
+		}
+		if sz > remaining {
+			sz = remaining
+		}
+		c := rt.ctxs[tid]
+		c.Compute(rt.m.Model.Costs.AtomicCyc) // chunk grab
+		body(tid, c, lo, lo+sz)
+		lo += sz
+		remaining -= sz
+	}
+	rt.sequentialBarrier()
+	rt.accountRegion(code, before)
+}
+
+// sequentialBarrier performs the team barrier from a single goroutine,
+// moving the same messages as barrierWait. Sends happen before receives in
+// each phase/round, which the 32-slot channels absorb.
+func (rt *RT) sequentialBarrier() {
+	n := len(rt.ctxs)
+	if n == 1 {
+		return
+	}
+	cost := rt.m.Model.Costs.MsgCyc
+	send := func(from, to int) {
+		if err := rt.mesh.Chan(from, to).Send([]byte{1}); err != nil {
+			panic(fmt.Sprintf("omp: barrier send: %v", err))
+		}
+		rt.ctxs[from].Wait(cost)
+	}
+	recv := func(from, to int) {
+		rt.mesh.Chan(from, to).Recv(rt.msgBuf[to])
+		rt.ctxs[to].Wait(cost)
+	}
+	switch rt.barrier {
+	case CentralBarrier:
+		for j := 1; j < n; j++ {
+			send(j, 0)
+		}
+		for j := 1; j < n; j++ {
+			recv(j, 0)
+		}
+		for j := 1; j < n; j++ {
+			send(0, j)
+			recv(0, j)
+		}
+	case TreeBarrier:
+		for r := 1; r < n; r <<= 1 {
+			for tid := 0; tid < n; tid++ {
+				send(tid, (tid+r)%n)
+			}
+			for tid := 0; tid < n; tid++ {
+				recv((tid-r+n)%n, tid)
+			}
+		}
+	}
+}
+
+// accountRegion charges the wall clock for a completed region given the
+// per-context counter snapshots taken at region start, and attributes the
+// deltas to the region's profile entry.
+func (rt *RT) accountRegion(code *CodeRegion, before []profile.Counters) {
+	// Per-core aggregation: SMT siblings serialise on the execution units.
+	// Under flush-on-switch SMT (Xeon) memory stalls serialise too; under
+	// interleaved SMT (Niagara) one thread's memory stalls are filled with
+	// the other threads' execution, so a core's time is its execution work
+	// plus only the unhidden stall tail (floored by the slowest single
+	// thread).
+	interleave := rt.m.Model.SMT == machine.SMTInterleave
+	coreBusy := map[int]uint64{}
+	coreMem := map[int]uint64{}
+	coreMaxThread := map[int]uint64{}
+	for i, c := range rt.ctxs {
+		core := rt.m.CoreOf(c)
+		d := c.Ctr.Busy - before[i].Busy
+		coreBusy[core] += d
+		coreMem[core] += c.Ctr.MemCyc - before[i].MemCyc
+		if d > coreMaxThread[core] {
+			coreMaxThread[core] = d
+		}
+	}
+	var max uint64
+	for core, b := range coreBusy {
+		t := b
+		if interleave {
+			exec := b - coreMem[core]
+			t = exec
+			if coreMaxThread[core] > t {
+				t = coreMaxThread[core]
+			}
+		}
+		if t > max {
+			max = t
+		}
+	}
+	regionWall := rt.m.Model.Costs.ForkCyc + max
+	rt.wall += regionWall
+	rt.regions++
+
+	name := "(anonymous)"
+	if code != nil {
+		name = code.Name
+	}
+	prof := rt.regionProf[name]
+	if prof == nil {
+		prof = &RegionProfile{Name: name}
+		rt.regionProf[name] = prof
+	}
+	prof.Entries++
+	prof.WallCycles += regionWall
+	for i, c := range rt.ctxs {
+		d := c.Ctr.Delta(before[i])
+		prof.Counters.Add(&d)
+	}
+}
+
+// RegionProfiles returns the per-region profile entries sorted by wall
+// cycles, most expensive first (the OProfile per-symbol view).
+func (rt *RT) RegionProfiles() []*RegionProfile {
+	out := make([]*RegionProfile, 0, len(rt.regionProf))
+	for _, p := range rt.regionProf {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WallCycles > out[j].WallCycles })
+	return out
+}
+
+// ParallelForReduce runs a worksharing loop whose body returns a partial
+// float64 value; partials are combined pairwise up a tree with real messages
+// (`reduction(+:x)` and friends).
+func (rt *RT) ParallelForReduce(code *CodeRegion, n int, f For, identity float64,
+	body func(tid int, c *machine.Context, lo, hi int) float64,
+	combine func(a, b float64) float64) float64 {
+
+	nt := len(rt.ctxs)
+	partials := make([]float64, nt)
+	for i := range partials {
+		partials[i] = identity
+	}
+	var mu sync.Mutex
+	inner := func(tid int, c *machine.Context, lo, hi int) {
+		v := body(tid, c, lo, hi)
+		mu.Lock()
+		partials[tid] = combine(partials[tid], v)
+		mu.Unlock()
+	}
+	rt.ParallelFor(code, n, f, inner)
+
+	// Tree combine with message costs charged to the master-side wall: the
+	// reduction happens inside the implicit barrier in real runtimes; here
+	// we charge ⌈log2 T⌉ message rounds.
+	result := partials[0]
+	for i := 1; i < nt; i++ {
+		result = combine(result, partials[i])
+	}
+	if nt > 1 {
+		rounds := uint64(math.Ceil(math.Log2(float64(nt))))
+		rt.wall += rounds * rt.m.Model.Costs.MsgCyc
+	}
+	return result
+}
+
+// Single returns a one-shot guard for `#pragma omp single`: exactly one
+// Try() per region returns true.
+type Single struct{ done atomic.Bool }
+
+// NewSingle creates a fresh single guard (one per use site per region).
+func (rt *RT) NewSingle() *Single { return &Single{} }
+
+// Try reports whether the caller is the executing thread.
+func (s *Single) Try() bool { return s.done.CompareAndSwap(false, true) }
+
+// Critical executes fn under the team's critical-section lock, charging the
+// lock handoff cost to c.
+type Critical struct {
+	mu sync.Mutex
+}
+
+// NewCritical creates a named critical section.
+func (rt *RT) NewCritical() *Critical { return &Critical{} }
+
+// Enter runs fn inside the critical section on context c.
+func (rt *RT) CriticalDo(cs *Critical, c *machine.Context, fn func()) {
+	cs.mu.Lock()
+	c.Compute(2 * rt.m.Model.Costs.AtomicCyc) // acquire + release
+	fn()
+	cs.mu.Unlock()
+}
+
+// ParallelSections runs each section function once, distributing sections
+// over threads dynamically (`#pragma omp sections`).
+func (rt *RT) ParallelSections(code *CodeRegion, sections []func(c *machine.Context)) {
+	var next atomic.Int64
+	rt.Parallel(code, func(tid int, c *machine.Context) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(sections) {
+				return
+			}
+			c.Compute(rt.m.Model.Costs.AtomicCyc)
+			sections[i](c)
+		}
+	})
+}
+
+// TotalCounters merges every context's counters.
+func (rt *RT) TotalCounters() profile.Counters {
+	var total profile.Counters
+	for _, c := range rt.ctxs {
+		total.Add(&c.Ctr)
+	}
+	return total
+}

@@ -1,0 +1,376 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"hugeomp/internal/machine"
+	"hugeomp/internal/pagetable"
+	"hugeomp/internal/units"
+)
+
+func newRT(t *testing.T, model machine.Model, threads int, opts ...Option) *RT {
+	t.Helper()
+	pt := pagetable.New()
+	for off := int64(0); off < 16*units.MB; off += units.PageSize4K {
+		if err := pt.Map(units.Addr(off), units.Size4K, uint64(off/units.PageSize4K), pagetable.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := machine.New(model)
+	m.AttachProcess(pt)
+	rt, err := New(m, threads, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestParallelRunsAllThreads(t *testing.T) {
+	rt := newRT(t, machine.Opteron270(), 4)
+	var ran [4]atomic.Bool
+	rt.Parallel(nil, func(tid int, c *machine.Context) {
+		ran[tid].Store(true)
+	})
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Errorf("thread %d did not run", i)
+		}
+	}
+	if rt.Regions() != 1 {
+		t.Errorf("regions = %d", rt.Regions())
+	}
+	if rt.WallCycles() == 0 {
+		t.Error("region cost not charged")
+	}
+}
+
+func TestNestedParallelPanics(t *testing.T) {
+	rt := newRT(t, machine.Opteron270(), 2)
+	var panicked atomic.Bool
+	rt.Parallel(nil, func(tid int, c *machine.Context) {
+		if tid == 0 {
+			func() {
+				defer func() {
+					if recover() != nil {
+						panicked.Store(true)
+					}
+				}()
+				rt.Parallel(nil, func(int, *machine.Context) {})
+			}()
+		}
+	})
+	if !panicked.Load() {
+		t.Error("nested parallel should panic")
+	}
+}
+
+func coverage(t *testing.T, rt *RT, n int, f For) []int32 {
+	t.Helper()
+	counts := make([]int32, n)
+	rt.ParallelFor(nil, n, f, func(tid int, c *machine.Context, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	return counts
+}
+
+func TestSchedulesCoverEveryIterationExactlyOnce(t *testing.T) {
+	for _, sched := range []For{
+		{Schedule: Static},
+		{Schedule: Static, Chunk: 3},
+		{Schedule: Dynamic},
+		{Schedule: Dynamic, Chunk: 7},
+		{Schedule: Guided},
+		{Schedule: Guided, Chunk: 4},
+	} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			rt := newRT(t, machine.Opteron270(), 4)
+			counts := coverage(t, rt, n, sched)
+			for i, got := range counts {
+				if got != 1 {
+					t.Errorf("%v n=%d: iteration %d ran %d times", sched, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// Property: any (schedule, chunk, n, threads) combination covers [0,n)
+// exactly once.
+func TestScheduleCoverageProperty(t *testing.T) {
+	f := func(kind uint8, chunk uint8, nRaw uint16, threadsRaw uint8) bool {
+		n := int(nRaw) % 500
+		threads := int(threadsRaw)%4 + 1
+		sched := For{
+			Schedule: ScheduleKind(kind % 3),
+			Chunk:    int(chunk) % 16,
+		}
+		rt := newRT(t, machine.Opteron270(), threads)
+		counts := coverage(t, rt, n, sched)
+		for _, got := range counts {
+			if got != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticDefaultIsContiguousBlocks(t *testing.T) {
+	rt := newRT(t, machine.Opteron270(), 4)
+	bounds := make([][2]int, 4)
+	rt.ParallelFor(nil, 100, For{Schedule: Static}, func(tid int, c *machine.Context, lo, hi int) {
+		bounds[tid] = [2]int{lo, hi}
+	})
+	if bounds[0] != [2]int{0, 25} || bounds[3] != [2]int{75, 100} {
+		t.Errorf("static blocks = %v", bounds)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	rt := newRT(t, machine.Opteron270(), 4)
+	// Sum of 0..999 (the paper's Algorithm 3.1 shape).
+	got := rt.ParallelForReduce(nil, 1000, For{Schedule: Static}, 0,
+		func(tid int, c *machine.Context, lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+	if got != 499500 {
+		t.Errorf("reduction = %v, want 499500", got)
+	}
+}
+
+func TestBarrierMovesRealMessages(t *testing.T) {
+	for _, algo := range []BarrierAlgo{CentralBarrier, TreeBarrier} {
+		rt := newRT(t, machine.Opteron270(), 4, WithBarrier(algo))
+		rt.Barrier()
+		var msgs uint64
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				msgs += rt.Mesh().Chan(i, j).Msgs.Load()
+			}
+		}
+		if msgs == 0 {
+			t.Errorf("%v barrier moved no messages", algo)
+		}
+		total := rt.TotalCounters()
+		if total.BarrierCyc == 0 {
+			t.Errorf("%v barrier charged no cycles", algo)
+		}
+	}
+}
+
+func TestCentralBarrierCostsMoreAtMaster(t *testing.T) {
+	rtc := newRT(t, machine.Opteron270(), 4, WithBarrier(CentralBarrier))
+	rtt := newRT(t, machine.Opteron270(), 4, WithBarrier(TreeBarrier))
+	rtc.Barrier()
+	rtt.Barrier()
+	// Central master: 2*(T-1) = 6 message costs; tree: 2*ceil(log2 4) = 4.
+	mc := rtc.Contexts()[0].Ctr.BarrierCyc
+	mt := rtt.Contexts()[0].Ctr.BarrierCyc
+	if mc <= mt {
+		t.Errorf("central master barrier cycles %d <= tree %d", mc, mt)
+	}
+}
+
+func TestSMTCoreSerialisationInWallClock(t *testing.T) {
+	// The same total work on the Xeon at 4 threads vs 8 threads: wall time
+	// must NOT improve by 2x (siblings serialise); the paper's Figure 4.
+	run := func(threads int) uint64 {
+		rt := newRT(t, machine.XeonHT(), threads)
+		rt.ParallelFor(nil, 1<<16, For{Schedule: Static},
+			func(tid int, c *machine.Context, lo, hi int) {
+				c.AccessRange(units.Addr(lo*8), hi-lo, 8, false)
+				c.Compute(uint64(hi-lo) * 4)
+			})
+		return rt.WallCycles()
+	}
+	t4, t8 := run(4), run(8)
+	if float64(t4)/float64(t8) > 1.3 {
+		t.Errorf("8 threads %.2fx faster than 4 on SMT; siblings should serialise (t4=%d t8=%d)",
+			float64(t4)/float64(t8), t4, t8)
+	}
+}
+
+func TestScalingOnSeparateCores(t *testing.T) {
+	// 1 -> 4 threads on the Opteron should speed up nearly linearly for a
+	// compute-heavy loop.
+	run := func(threads int) uint64 {
+		rt := newRT(t, machine.Opteron270(), threads)
+		rt.ParallelFor(nil, 1<<14, For{Schedule: Static},
+			func(tid int, c *machine.Context, lo, hi int) {
+				c.Compute(uint64(hi-lo) * 400)
+			})
+		return rt.WallCycles()
+	}
+	t1, t4 := run(1), run(4)
+	speedup := float64(t1) / float64(t4)
+	if speedup < 3.2 {
+		t.Errorf("4-thread speedup = %.2f, want >3.2", speedup)
+	}
+}
+
+func TestSingleRunsOnce(t *testing.T) {
+	rt := newRT(t, machine.Opteron270(), 4)
+	var n atomic.Int32
+	s := rt.NewSingle()
+	rt.Parallel(nil, func(tid int, c *machine.Context) {
+		if s.Try() {
+			n.Add(1)
+		}
+	})
+	if n.Load() != 1 {
+		t.Errorf("single executed %d times", n.Load())
+	}
+}
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	rt := newRT(t, machine.Opteron270(), 4)
+	cs := rt.NewCritical()
+	counter := 0
+	rt.ParallelFor(nil, 1000, For{Schedule: Dynamic, Chunk: 10},
+		func(tid int, c *machine.Context, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rt.CriticalDo(cs, c, func() { counter++ })
+			}
+		})
+	if counter != 1000 {
+		t.Errorf("counter = %d, want 1000 (lost updates)", counter)
+	}
+}
+
+func TestSectionsEachRunOnce(t *testing.T) {
+	rt := newRT(t, machine.Opteron270(), 2)
+	var ran [5]atomic.Int32
+	secs := make([]func(*machine.Context), 5)
+	for i := range secs {
+		i := i
+		secs[i] = func(*machine.Context) { ran[i].Add(1) }
+	}
+	rt.ParallelSections(nil, secs)
+	for i := range ran {
+		if ran[i].Load() != 1 {
+			t.Errorf("section %d ran %d times", i, ran[i].Load())
+		}
+	}
+}
+
+func TestSerialChargesWall(t *testing.T) {
+	rt := newRT(t, machine.Opteron270(), 4)
+	before := rt.WallCycles()
+	rt.Serial(func(c *machine.Context) { c.Compute(12345) })
+	if rt.WallCycles()-before != 12345 {
+		t.Errorf("serial delta = %d", rt.WallCycles()-before)
+	}
+}
+
+func TestCodeRegionFetches(t *testing.T) {
+	rt := newRT(t, machine.Opteron270(), 2)
+	code := &CodeRegion{Name: "loop", Base: 0, Size: 3 * units.PageSize4K}
+	rt.Parallel(code, func(tid int, c *machine.Context) {})
+	total := rt.TotalCounters()
+	if total.Fetches != 2*3 {
+		t.Errorf("fetches = %d, want 6 (3 pages x 2 threads)", total.Fetches)
+	}
+}
+
+func TestDynamicBalancesSkewedWork(t *testing.T) {
+	// Iteration i costs i cycles; static gives thread 3 the heavy tail,
+	// dynamic balances. Wall clock must be lower with dynamic.
+	run := func(f For) uint64 {
+		rt := newRT(t, machine.Opteron270(), 4)
+		rt.ParallelFor(nil, 2000, f, func(tid int, c *machine.Context, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c.Compute(uint64(i))
+			}
+		})
+		return rt.WallCycles()
+	}
+	static := run(For{Schedule: Static})
+	dynamic := run(For{Schedule: Dynamic, Chunk: 16})
+	if dynamic >= static {
+		t.Errorf("dynamic (%d) not faster than static (%d) on skewed work", dynamic, static)
+	}
+}
+
+func TestConcurrentCounterIsolation(t *testing.T) {
+	// Contexts accumulate independently without data races (run with -race).
+	rt := newRT(t, machine.Opteron270(), 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	rt.ParallelFor(nil, 4096, For{Schedule: Static},
+		func(tid int, c *machine.Context, lo, hi int) {
+			c.AccessRange(units.Addr(lo*8), hi-lo, 8, false)
+		})
+	wg.Wait()
+	total := rt.TotalCounters()
+	if total.Loads != 4096 {
+		t.Errorf("loads = %d", total.Loads)
+	}
+}
+
+func TestRegionProfilesAttributeWork(t *testing.T) {
+	rt := newRT(t, machine.Opteron270(), 2)
+	heavy := &CodeRegion{Name: "heavy", Base: 0, Size: units.PageSize4K}
+	light := &CodeRegion{Name: "light", Base: units.Addr(units.PageSize4K), Size: units.PageSize4K}
+	for i := 0; i < 3; i++ {
+		rt.ParallelFor(heavy, 1024, For{}, func(tid int, c *machine.Context, lo, hi int) {
+			c.Compute(uint64(1000 * (hi - lo)))
+		})
+	}
+	rt.ParallelFor(light, 16, For{}, func(tid int, c *machine.Context, lo, hi int) {
+		c.Compute(uint64(hi - lo))
+	})
+	profs := rt.RegionProfiles()
+	if len(profs) != 2 {
+		t.Fatalf("profiles = %d, want 2", len(profs))
+	}
+	if profs[0].Name != "heavy" {
+		t.Errorf("most expensive region = %s, want heavy", profs[0].Name)
+	}
+	if profs[0].Entries != 3 {
+		t.Errorf("heavy entries = %d", profs[0].Entries)
+	}
+	var sum uint64
+	for _, p := range profs {
+		sum += p.WallCycles
+	}
+	if sum != rt.WallCycles() {
+		t.Errorf("region wall sum %d != total wall %d", sum, rt.WallCycles())
+	}
+}
+
+func TestInterleavedSMTHidesMemoryStalls(t *testing.T) {
+	// The same memory-bound work on a flush-on-switch core vs an
+	// interleaved core (paper §2.1's two SMT designs): with both hardware
+	// threads of a core loaded, the interleaved design overlaps one
+	// thread's stalls with the other's execution.
+	run := func(model machine.Model) uint64 {
+		rt := newRT(t, model, model.MaxThreads())
+		rt.ParallelFor(nil, 1<<11, For{Schedule: Static},
+			func(tid int, c *machine.Context, lo, hi int) {
+				// Strided loads: all memory misses (within the mapped 16MB).
+				c.AccessRange(units.Addr(lo*4096), hi-lo, 4096, false)
+			})
+		return rt.WallCycles()
+	}
+	flush := machine.XeonHT() // 2 threads/core, flush on switch
+	inter := flush
+	inter.SMT = machine.SMTInterleave
+	inter.Name = "XeonInterleave"
+	wFlush, wInter := run(flush), run(inter)
+	if wInter >= wFlush {
+		t.Errorf("interleaved SMT (%d cyc) not faster than flush-on-switch (%d cyc)", wInter, wFlush)
+	}
+}

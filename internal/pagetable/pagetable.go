@@ -1,0 +1,287 @@
+// Package pagetable implements the per-process radix page table described in
+// the paper (its Figure 2, after Gorman): on x86-64 Linux of that era the
+// Page Global Directory (PGD) points directly at page frames holding Page
+// Table Entries (PTEs) — there is no middle directory — and the virtual
+// address is split into a PGD index, a PTE index and an in-page offset.
+//
+// A 2 MB large-page mapping terminates at the PGD level, so its page walk is
+// one memory reference shorter than the two-reference walk of a 4 KB page.
+// The Translate result reports exactly how many memory references the walk
+// performed; the machine layer converts that into cycles.
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hugeomp/internal/units"
+)
+
+// Prot is a page protection mask, used by the SCASH eager-release-consistency
+// machinery to trap accesses (the paper's section 3.3 "Memory Protection").
+type Prot uint8
+
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+	ProtRW         = ProtRead | ProtWrite
+)
+
+// Fault kinds raised by Access.
+var (
+	ErrNotMapped     = errors.New("pagetable: address not mapped")
+	ErrProtViolation = errors.New("pagetable: protection violation")
+	ErrOverlap       = errors.New("pagetable: mapping overlaps existing mapping")
+	ErrMisaligned    = errors.New("pagetable: misaligned mapping")
+)
+
+const (
+	ptesPerFrame = 512 // one 4 KB frame of 8-byte PTEs
+	pgdSpan      = units.PageSize2M
+)
+
+// Entry describes one resolved translation.
+type Entry struct {
+	PFN  uint64 // physical frame number in 4 KB units
+	Size units.PageSize
+	Prot Prot
+}
+
+// WalkResult reports the cost of resolving a translation.
+type WalkResult struct {
+	MemRefs int // memory references performed by the walk
+	Entry   Entry
+}
+
+type pgdEntry struct {
+	large bool
+	// large mapping
+	pfn  uint64
+	prot Prot
+	// small mappings
+	ptes *[ptesPerFrame]pte
+	used int // live PTEs; the frame is freed when it reaches zero
+}
+
+type pte struct {
+	present bool
+	pfn     uint64
+	prot    Prot
+}
+
+// Table is one process's page table. It is safe for concurrent translation;
+// mapping operations take the write lock.
+//
+// The PGD is a flat slice for the low address range (the simulated process
+// layout lives below 16 GB) with a map fallback for arbitrary high
+// addresses; page walks are the simulator's hottest slow path and the slice
+// lookup keeps them cheap.
+type Table struct {
+	mu      sync.RWMutex
+	pgdLow  []*pgdEntry // indices below lowPGDs
+	pgdHigh map[uint64]*pgdEntry
+
+	mapped4K int
+	mapped2M int
+}
+
+// lowPGDs covers virtual addresses below 16 GB with the slice-indexed PGD.
+const lowPGDs = uint64((16 << 30) / pgdSpan)
+
+// New creates an empty page table.
+func New() *Table {
+	return &Table{
+		pgdLow:  make([]*pgdEntry, lowPGDs),
+		pgdHigh: make(map[uint64]*pgdEntry),
+	}
+}
+
+// entry returns the PGD entry for index gi, or nil.
+func (t *Table) entry(gi uint64) *pgdEntry {
+	if gi < lowPGDs {
+		return t.pgdLow[gi]
+	}
+	return t.pgdHigh[gi]
+}
+
+// setEntry installs or clears the PGD entry for index gi.
+func (t *Table) setEntry(gi uint64, e *pgdEntry) {
+	if gi < lowPGDs {
+		t.pgdLow[gi] = e
+		return
+	}
+	if e == nil {
+		delete(t.pgdHigh, gi)
+		return
+	}
+	t.pgdHigh[gi] = e
+}
+
+func pgdIndex(va units.Addr) uint64 { return uint64(va) >> units.PageShift2M }
+func pteIndex(va units.Addr) uint64 {
+	return (uint64(va) >> units.PageShift4K) % ptesPerFrame
+}
+
+// Map installs a mapping of one page of the given size at va. va must be
+// size-aligned and must not overlap an existing mapping. pfn is in 4 KB
+// units; for a 2 MB page it must be 512-aligned (naturally aligned frame).
+func (t *Table) Map(va units.Addr, size units.PageSize, pfn uint64, prot Prot) error {
+	if uint64(va)&uint64(size.Mask()) != 0 {
+		return fmt.Errorf("%w: va %#x for %s page", ErrMisaligned, va, size)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	gi := pgdIndex(va)
+	e := t.entry(gi)
+	if size == units.Size2M {
+		if pfn%uint64(ptesPerFrame) != 0 {
+			return fmt.Errorf("%w: pfn %#x for 2MB frame", ErrMisaligned, pfn)
+		}
+		if e != nil {
+			return fmt.Errorf("%w: 2MB at %#x", ErrOverlap, va)
+		}
+		t.setEntry(gi, &pgdEntry{large: true, pfn: pfn, prot: prot})
+		t.mapped2M++
+		return nil
+	}
+	if e == nil {
+		e = &pgdEntry{ptes: new([ptesPerFrame]pte)}
+		t.setEntry(gi, e)
+	} else if e.large {
+		return fmt.Errorf("%w: 4KB inside 2MB at %#x", ErrOverlap, va)
+	}
+	p := &e.ptes[pteIndex(va)]
+	if p.present {
+		return fmt.Errorf("%w: 4KB at %#x", ErrOverlap, va)
+	}
+	*p = pte{present: true, pfn: pfn, prot: prot}
+	e.used++
+	t.mapped4K++
+	return nil
+}
+
+// Unmap removes the mapping of the page of the given size at va and returns
+// its entry (so the caller can free the physical frame).
+func (t *Table) Unmap(va units.Addr, size units.PageSize) (Entry, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	gi := pgdIndex(va)
+	e := t.entry(gi)
+	if e == nil {
+		return Entry{}, fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	if size == units.Size2M {
+		if !e.large {
+			return Entry{}, fmt.Errorf("%w: no 2MB mapping at %#x", ErrNotMapped, va)
+		}
+		ent := Entry{PFN: e.pfn, Size: units.Size2M, Prot: e.prot}
+		t.setEntry(gi, nil)
+		t.mapped2M--
+		return ent, nil
+	}
+	if e.large {
+		return Entry{}, fmt.Errorf("%w: 2MB mapping at %#x, not 4KB", ErrNotMapped, va)
+	}
+	p := &e.ptes[pteIndex(va)]
+	if !p.present {
+		return Entry{}, fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	ent := Entry{PFN: p.pfn, Size: units.Size4K, Prot: p.prot}
+	*p = pte{}
+	e.used--
+	t.mapped4K--
+	if e.used == 0 {
+		// Free the empty PTE frame so the slot can take a 2 MB mapping
+		// (huge-page promotion collapses the whole directory entry).
+		t.setEntry(gi, nil)
+	}
+	return ent, nil
+}
+
+// Protect changes the protection of the page containing va. It returns the
+// page size of the affected mapping. Used by the SCASH coherence protocol to
+// arm and disarm access traps.
+func (t *Table) Protect(va units.Addr, prot Prot) (units.PageSize, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entry(pgdIndex(va))
+	if e == nil {
+		return 0, fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	if e.large {
+		e.prot = prot
+		return units.Size2M, nil
+	}
+	p := &e.ptes[pteIndex(va)]
+	if !p.present {
+		return 0, fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	p.prot = prot
+	return units.Size4K, nil
+}
+
+// Translate performs a page walk for va, ignoring protections. The returned
+// WalkResult reports the memory references the hardware walker performed:
+// 2 for a 4 KB page (PGD entry, then PTE), 1 for a 2 MB page (PGD entry
+// only). This asymmetry is one of the two sources of large-page benefit in
+// the paper (the other being TLB reach).
+func (t *Table) Translate(va units.Addr) (WalkResult, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e := t.entry(pgdIndex(va))
+	if e == nil {
+		return WalkResult{MemRefs: 1}, fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	if e.large {
+		return WalkResult{
+			MemRefs: 1,
+			Entry:   Entry{PFN: e.pfn, Size: units.Size2M, Prot: e.prot},
+		}, nil
+	}
+	p := &e.ptes[pteIndex(va)]
+	if !p.present {
+		return WalkResult{MemRefs: 2}, fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	return WalkResult{
+		MemRefs: 2,
+		Entry:   Entry{PFN: p.pfn, Size: units.Size4K, Prot: p.prot},
+	}, nil
+}
+
+// Access resolves va and checks that the access kind (write or read) is
+// permitted, returning ErrProtViolation if the page is mapped but protected.
+// The SCASH layer uses the violation as its coherence trap.
+func (t *Table) Access(va units.Addr, write bool) (WalkResult, error) {
+	wr, err := t.Translate(va)
+	if err != nil {
+		return wr, err
+	}
+	need := ProtRead
+	if write {
+		need = ProtWrite
+	}
+	if wr.Entry.Prot&need == 0 {
+		return wr, fmt.Errorf("%w: %#x (write=%v)", ErrProtViolation, va, write)
+	}
+	return wr, nil
+}
+
+// PhysAddr computes the physical address for va given its entry.
+func PhysAddr(va units.Addr, e Entry) units.Addr {
+	return units.Addr(e.PFN)*units.Addr(units.PageSize4K) + (va & e.Size.Mask())
+}
+
+// Mapped4K returns the number of live 4 KB mappings.
+func (t *Table) Mapped4K() int { t.mu.RLock(); defer t.mu.RUnlock(); return t.mapped4K }
+
+// Mapped2M returns the number of live 2 MB mappings.
+func (t *Table) Mapped2M() int { t.mu.RLock(); defer t.mu.RUnlock(); return t.mapped2M }
+
+// MappedBytes returns the total bytes mapped.
+func (t *Table) MappedBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int64(t.mapped4K)*units.PageSize4K + int64(t.mapped2M)*units.PageSize2M
+}

@@ -1,0 +1,182 @@
+package pagetable
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hugeomp/internal/units"
+)
+
+func TestMapTranslate4K(t *testing.T) {
+	pt := New()
+	va := units.Addr(0x400000)
+	if err := pt.Map(va, units.Size4K, 42, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := pt.Translate(va + 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Entry.PFN != 42 || wr.Entry.Size != units.Size4K {
+		t.Errorf("entry = %+v", wr.Entry)
+	}
+	if wr.MemRefs != 2 {
+		t.Errorf("4KB walk refs = %d, want 2 (PGD + PTE)", wr.MemRefs)
+	}
+	if pa := PhysAddr(va+123, wr.Entry); pa != 42*4096+123 {
+		t.Errorf("PhysAddr = %#x", pa)
+	}
+}
+
+func TestMapTranslate2M(t *testing.T) {
+	pt := New()
+	va := units.Addr(0x40000000)
+	if err := pt.Map(va, units.Size2M, 1024, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := pt.Translate(va + 0x12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Entry.Size != units.Size2M {
+		t.Errorf("size = %v", wr.Entry.Size)
+	}
+	if wr.MemRefs != 1 {
+		t.Errorf("2MB walk refs = %d, want 1 (PGD only) — the shorter walk is a core large-page benefit", wr.MemRefs)
+	}
+	if pa := PhysAddr(va+0x12345, wr.Entry); pa != 1024*4096+0x12345 {
+		t.Errorf("PhysAddr = %#x", pa)
+	}
+}
+
+func TestMisalignedMap(t *testing.T) {
+	pt := New()
+	if err := pt.Map(0x1001, units.Size4K, 1, ProtRW); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("want ErrMisaligned, got %v", err)
+	}
+	if err := pt.Map(units.Addr(units.PageSize4K), units.Size2M, 512, ProtRW); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("want ErrMisaligned for unaligned 2MB va, got %v", err)
+	}
+	if err := pt.Map(0, units.Size2M, 5, ProtRW); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("want ErrMisaligned for unaligned 2MB pfn, got %v", err)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	pt := New()
+	if err := pt.Map(0, units.Size2M, 0, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(0x1000, units.Size4K, 99, ProtRW); !errors.Is(err, ErrOverlap) {
+		t.Errorf("4K inside 2M: want ErrOverlap, got %v", err)
+	}
+	if err := pt.Map(0, units.Size2M, 512, ProtRW); !errors.Is(err, ErrOverlap) {
+		t.Errorf("2M on 2M: want ErrOverlap, got %v", err)
+	}
+	pt2 := New()
+	if err := pt2.Map(0x1000, units.Size4K, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt2.Map(0, units.Size2M, 512, ProtRW); !errors.Is(err, ErrOverlap) {
+		t.Errorf("2M over 4K: want ErrOverlap, got %v", err)
+	}
+	if err := pt2.Map(0x1000, units.Size4K, 2, ProtRW); !errors.Is(err, ErrOverlap) {
+		t.Errorf("4K on 4K: want ErrOverlap, got %v", err)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	pt := New()
+	if err := pt.Map(0x2000, units.Size4K, 7, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	e, err := pt.Unmap(0x2000, units.Size4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PFN != 7 {
+		t.Errorf("unmapped PFN = %d", e.PFN)
+	}
+	if _, err := pt.Translate(0x2000); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("want ErrNotMapped after unmap, got %v", err)
+	}
+	if pt.Mapped4K() != 0 {
+		t.Errorf("Mapped4K = %d", pt.Mapped4K())
+	}
+}
+
+func TestProtectionTrap(t *testing.T) {
+	pt := New()
+	if err := pt.Map(0, units.Size4K, 3, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Access(0x10, false); err != nil {
+		t.Errorf("read should succeed: %v", err)
+	}
+	if _, err := pt.Access(0x10, true); !errors.Is(err, ErrProtViolation) {
+		t.Errorf("write should trap: %v", err)
+	}
+	if _, err := pt.Protect(0, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Access(0x10, true); err != nil {
+		t.Errorf("write after Protect(RW) should succeed: %v", err)
+	}
+	if _, err := pt.Protect(0, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Access(0x10, false); !errors.Is(err, ErrProtViolation) {
+		t.Errorf("read of ProtNone page should trap: %v", err)
+	}
+}
+
+func TestMappedBytesAccounting(t *testing.T) {
+	pt := New()
+	for i := 0; i < 10; i++ {
+		va := units.Addr(int64(i) * units.PageSize4K)
+		if err := pt.Map(va, units.Size4K, uint64(i), ProtRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pt.Map(units.Addr(units.PageSize2M*4), units.Size2M, 2048, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	want := 10*units.PageSize4K + units.PageSize2M
+	if got := pt.MappedBytes(); got != want {
+		t.Errorf("MappedBytes = %d, want %d", got, want)
+	}
+}
+
+// Property: mapping a random set of non-overlapping 4K pages and translating
+// any address inside each page returns the page's PFN and offset.
+func TestTranslateRoundTrip(t *testing.T) {
+	f := func(pages []uint16, offs uint16) bool {
+		pt := New()
+		seen := map[uint64]uint64{}
+		pfn := uint64(1)
+		for _, p := range pages {
+			vpn := uint64(p)
+			if _, dup := seen[vpn]; dup {
+				continue
+			}
+			va := units.Addr(vpn * uint64(units.PageSize4K))
+			if err := pt.Map(va, units.Size4K, pfn, ProtRW); err != nil {
+				return false
+			}
+			seen[vpn] = pfn
+			pfn++
+		}
+		for vpn, want := range seen {
+			va := units.Addr(vpn*uint64(units.PageSize4K) + uint64(offs)%4096)
+			wr, err := pt.Translate(va)
+			if err != nil || wr.Entry.PFN != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddMerges(t *testing.T) {
+	a := Counters{Loads: 1, Stores: 2, DTLBWalks4K: 3, Busy: 10, SMTSwitches: 4}
+	b := Counters{Loads: 10, Stores: 20, DTLBWalks2M: 5, Busy: 100, FlushCycles: 7}
+	a.Add(&b)
+	if a.Loads != 11 || a.Stores != 22 || a.Busy != 110 {
+		t.Errorf("merged = %+v", a)
+	}
+	if a.DTLBWalks() != 8 {
+		t.Errorf("walks = %d", a.DTLBWalks())
+	}
+	if a.Accesses() != 33 {
+		t.Errorf("accesses = %d", a.Accesses())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := Counters{Loads: 5, Busy: 9}
+	c.Reset()
+	if c != (Counters{}) {
+		t.Errorf("reset left %+v", c)
+	}
+}
+
+func TestDerivedCounters(t *testing.T) {
+	c := Counters{DTLBL1Miss4K: 3, DTLBL1Miss2M: 4}
+	if c.DTLBL1Misses() != 7 {
+		t.Error("DTLBL1Misses")
+	}
+}
+
+func TestReportContainsEverything(t *testing.T) {
+	c := Counters{Loads: 100, DTLBWalks4K: 10, ITLBL1Miss: 2, L2Misses: 5, Busy: 1000}
+	out := c.Report("CG", 2.0)
+	for _, want := range []string{"CG", "DTLB walks", "ITLB misses", "busy cycles", "2.000 simulated seconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-duration report must not divide by zero.
+	if out := c.Report("x", 0); !strings.Contains(out, "0.000") {
+		t.Error("zero-seconds report")
+	}
+}
+
+// Property: Add is commutative and associative on the counted fields.
+func TestAddCommutative(t *testing.T) {
+	f := func(l1, l2, w1, w2 uint32) bool {
+		a := Counters{Loads: uint64(l1), DTLBWalks4K: uint64(w1)}
+		b := Counters{Loads: uint64(l2), DTLBWalks4K: uint64(w2)}
+		x := a
+		x.Add(&b)
+		y := b
+		y.Add(&a)
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+package scash
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hugeomp/internal/pagetable"
+	"hugeomp/internal/shmem"
+	"hugeomp/internal/units"
+)
+
+// This file implements the SCASH software-DSM coherence protocol: a
+// home-based eager release consistency (ERC) protocol driven by page
+// protections, as sketched in the paper's §3.3. Every shared page has a home
+// process holding the master copy. A process reads through a locally cached
+// copy (fetched from the home on a read fault), writes through a twin (a
+// pristine snapshot taken on the first write fault), and at a release point
+// diffs its pages against their twins and sends the diffs to the homes; an
+// acquire invalidates cached copies so subsequent reads refetch.
+//
+// The paper runs Omni/SCASH in intra-node mode where this protocol is
+// DISABLED ("the native hardware virtual memory run-time system is used to
+// manage page coherency"); the implementation is here because it is part of
+// the substrate the paper modifies, and its page-protection machinery is
+// what the machine layer's fault hooks exist for.
+
+// DSMStats counts protocol traffic. Message counts follow the shmem channel
+// geometry: payloads are fragmented into MaxMsgSize chunks.
+type DSMStats struct {
+	Fetches     uint64 // page fetches from a home
+	WriteFaults uint64 // twin creations
+	Diffs       uint64 // diff flushes to a home
+	DiffBytes   uint64 // bytes of diffed data moved
+	Msgs        uint64 // total shared-memory messages
+}
+
+// DSM is a software distributed shared memory over nproc simulated
+// processes.
+type DSM struct {
+	nproc    int
+	pageSize units.PageSize
+	base     units.Addr
+	npages   int
+
+	mu    sync.Mutex
+	homes []homePage
+	Stats DSMStats
+
+	procs []*Proc
+}
+
+type homePage struct {
+	data    []byte
+	version uint64
+}
+
+// Proc is one DSM endpoint with its own page table (and therefore its own
+// protection state — the trap mechanism).
+type Proc struct {
+	dsm *DSM
+	id  int
+	PT  *pagetable.Table
+
+	local map[uint64][]byte // cached page copies
+	twins map[uint64][]byte // pre-write snapshots
+}
+
+// NewDSM builds a DSM of npages pages of the given size starting at base.
+// Pages are homed round-robin across processes, SCASH's default
+// distribution.
+func NewDSM(nproc int, pageSize units.PageSize, base units.Addr, npages int) (*DSM, error) {
+	if uint64(base)%uint64(pageSize.Bytes()) != 0 {
+		return nil, fmt.Errorf("scash: DSM base %#x not %s aligned", base, pageSize)
+	}
+	d := &DSM{
+		nproc:    nproc,
+		pageSize: pageSize,
+		base:     base,
+		npages:   npages,
+		homes:    make([]homePage, npages),
+	}
+	for i := range d.homes {
+		d.homes[i].data = make([]byte, pageSize.Bytes())
+	}
+	for p := 0; p < nproc; p++ {
+		proc := &Proc{
+			dsm:   d,
+			id:    p,
+			PT:    pagetable.New(),
+			local: make(map[uint64][]byte),
+			twins: make(map[uint64][]byte),
+		}
+		// Map every page with no access so the first touch traps.
+		for i := 0; i < npages; i++ {
+			va := base + units.Addr(int64(i)*pageSize.Bytes())
+			pfn := uint64(i)
+			if pageSize == units.Size2M {
+				pfn *= 512 // natural alignment in 4 KB PFN units
+			}
+			if err := proc.PT.Map(va, pageSize, pfn, pagetable.ProtNone); err != nil {
+				return nil, err
+			}
+		}
+		d.procs = append(d.procs, proc)
+	}
+	return d, nil
+}
+
+// Proc returns endpoint i.
+func (d *DSM) Proc(i int) *Proc { return d.procs[i] }
+
+// HomeOf returns the home process of the page index.
+func (d *DSM) HomeOf(page int) int { return page % d.nproc }
+
+func (d *DSM) pageIndex(va units.Addr) (int, error) {
+	if va < d.base {
+		return 0, fmt.Errorf("scash: %#x below DSM region", va)
+	}
+	idx := int(int64(va-d.base) / d.pageSize.Bytes())
+	if idx >= d.npages {
+		return 0, fmt.Errorf("scash: %#x beyond DSM region", va)
+	}
+	return idx, nil
+}
+
+func msgsFor(bytes int) uint64 {
+	if bytes <= 0 {
+		return 1 // control message
+	}
+	return uint64((bytes + shmem.MaxMsgSize - 1) / shmem.MaxMsgSize)
+}
+
+// fetch pulls the home copy of page idx into the local cache (read fault
+// service).
+func (p *Proc) fetch(idx int) {
+	d := p.dsm
+	d.mu.Lock()
+	src := d.homes[idx]
+	cp := make([]byte, len(src.data))
+	copy(cp, src.data)
+	d.Stats.Fetches++
+	d.Stats.Msgs += 1 + msgsFor(len(cp)) // request + fragmented page reply
+	d.mu.Unlock()
+	p.local[idx64(idx)] = cp
+}
+
+func idx64(i int) uint64 { return uint64(i) }
+
+// FaultHandler exposes the protocol's fault service in the shape the
+// machine layer's Context.OnFault hook expects, so simulated hardware
+// contexts can run directly against a DSM process's protected page table in
+// cluster mode.
+func (p *Proc) FaultHandler() func(va units.Addr, write bool) error {
+	return p.onFault
+}
+
+// onFault services a protection fault at va, upgrading page state per the
+// ERC state machine: Invalid --read--> ReadOnly --write--> ReadWrite (with
+// twin). It is installed as the machine-layer fault handler in cluster mode.
+func (p *Proc) onFault(va units.Addr, write bool) error {
+	idx, err := p.dsm.pageIndex(va)
+	if err != nil {
+		return err
+	}
+	pageVA := p.dsm.base + units.Addr(int64(idx)*p.dsm.pageSize.Bytes())
+	if _, cached := p.local[idx64(idx)]; !cached {
+		p.fetch(idx)
+		if _, perr := p.PT.Protect(pageVA, pagetable.ProtRead); perr != nil {
+			return perr
+		}
+	}
+	if write {
+		if _, twinned := p.twins[idx64(idx)]; !twinned {
+			local := p.local[idx64(idx)]
+			twin := make([]byte, len(local))
+			copy(twin, local)
+			p.twins[idx64(idx)] = twin
+			p.dsm.mu.Lock()
+			p.dsm.Stats.WriteFaults++
+			p.dsm.mu.Unlock()
+		}
+		if _, perr := p.PT.Protect(pageVA, pagetable.ProtRW); perr != nil {
+			return perr
+		}
+	}
+	return nil
+}
+
+// access checks protections and services faults until the access is legal.
+func (p *Proc) access(va units.Addr, n int, write bool) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("scash: non-positive access size %d", n)
+	}
+	idx, err := p.dsm.pageIndex(va)
+	if err != nil {
+		return nil, err
+	}
+	off := int(int64(va-p.dsm.base) % p.dsm.pageSize.Bytes())
+	if int64(off+n) > p.dsm.pageSize.Bytes() {
+		return nil, fmt.Errorf("scash: access at %#x crosses page boundary", va)
+	}
+	for {
+		_, aerr := p.PT.Access(va, write)
+		if aerr == nil {
+			break
+		}
+		if !errors.Is(aerr, pagetable.ErrProtViolation) {
+			return nil, aerr
+		}
+		if ferr := p.onFault(va, write); ferr != nil {
+			return nil, ferr
+		}
+	}
+	return p.local[idx64(idx)][off : off+n], nil
+}
+
+// ReadAt copies n bytes at va out of the process's coherent view.
+func (p *Proc) ReadAt(va units.Addr, n int) ([]byte, error) {
+	src, err := p.access(va, n, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, src)
+	return out, nil
+}
+
+// WriteAt stores data at va through the coherence protocol.
+func (p *Proc) WriteAt(va units.Addr, data []byte) error {
+	dst, err := p.access(va, len(data), true)
+	if err != nil {
+		return err
+	}
+	copy(dst, data)
+	return nil
+}
+
+// Release flushes this process's dirty pages: each twinned page is diffed
+// against its twin and the differing bytes are sent to the page's home,
+// which applies them ("eager" — propagation happens at the release, not
+// lazily at the next acquire).
+func (p *Proc) Release() {
+	d := p.dsm
+	for key, twin := range p.twins {
+		idx := int(key)
+		local := p.local[key]
+		var diffBytes int
+		d.mu.Lock()
+		home := d.homes[idx].data
+		for i := range local {
+			if local[i] != twin[i] {
+				home[i] = local[i]
+				diffBytes++
+			}
+		}
+		if diffBytes > 0 {
+			d.homes[idx].version++
+		}
+		d.Stats.Diffs++
+		d.Stats.DiffBytes += uint64(diffBytes)
+		d.Stats.Msgs += 1 + msgsFor(diffBytes)
+		d.mu.Unlock()
+		delete(p.twins, key)
+		// Downgrade to read-only: the next write re-twins.
+		pageVA := d.base + units.Addr(int64(idx)*d.pageSize.Bytes())
+		_, _ = p.PT.Protect(pageVA, pagetable.ProtRead)
+	}
+}
+
+// Acquire invalidates every cached page so subsequent reads observe all
+// diffs released before this acquire.
+func (p *Proc) Acquire() {
+	d := p.dsm
+	for key := range p.local {
+		idx := int(key)
+		pageVA := d.base + units.Addr(int64(idx)*d.pageSize.Bytes())
+		_, _ = p.PT.Protect(pageVA, pagetable.ProtNone)
+		delete(p.local, key)
+	}
+}
+
+// Barrier performs the ERC barrier: every process releases, then every
+// process acquires. The caller must ensure no process is mid-access.
+func (d *DSM) Barrier() {
+	for _, p := range d.procs {
+		p.Release()
+	}
+	for _, p := range d.procs {
+		p.Acquire()
+	}
+}
+
+// HomeVersion exposes a page's home version for protocol tests.
+func (d *DSM) HomeVersion(page int) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.homes[page].version
+}

@@ -1,0 +1,193 @@
+package scash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hugeomp/internal/units"
+)
+
+func newDSM(t *testing.T, nproc, npages int) *DSM {
+	t.Helper()
+	d, err := NewDSM(nproc, units.Size4K, 0x40000000, npages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestERCReadSeesHomeData(t *testing.T) {
+	d := newDSM(t, 2, 4)
+	w := d.Proc(0)
+	if err := w.WriteAt(0x40000000, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	d.Barrier()
+	r := d.Proc(1)
+	got, err := r.ReadAt(0x40000000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("reader sees %v", got)
+	}
+}
+
+func TestERCNoVisibilityBeforeBarrier(t *testing.T) {
+	d := newDSM(t, 2, 2)
+	r := d.Proc(1)
+	// Reader caches the page first.
+	if _, err := r.ReadAt(0x40000000, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Writer updates but does not release.
+	if err := d.Proc(0).WriteAt(0x40000000, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.ReadAt(0x40000000, 1)
+	if got[0] == 42 {
+		t.Error("write visible before release — not release consistency")
+	}
+	d.Barrier()
+	got, _ = r.ReadAt(0x40000000, 1)
+	if got[0] != 42 {
+		t.Errorf("write invisible after barrier: %v", got)
+	}
+}
+
+func TestERCFalseSharingMerge(t *testing.T) {
+	// Two processes write disjoint halves of the same page between
+	// barriers; diffs must merge at the home without clobbering.
+	d := newDSM(t, 2, 1)
+	half := int(units.PageSize4K / 2)
+	a := make([]byte, half)
+	b := make([]byte, half)
+	for i := range a {
+		a[i] = 0xAA
+		b[i] = 0xBB
+	}
+	if err := d.Proc(0).WriteAt(0x40000000, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Proc(1).WriteAt(0x40000000+units.Addr(half), b); err != nil {
+		t.Fatal(err)
+	}
+	d.Barrier()
+	got, err := d.Proc(0).ReadAt(0x40000000, int(units.PageSize4K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < half; i++ {
+		if got[i] != 0xAA {
+			t.Fatalf("byte %d = %#x, want AA (proc0's half lost)", i, got[i])
+		}
+		if got[half+i] != 0xBB {
+			t.Fatalf("byte %d = %#x, want BB (proc1's half lost)", half+i, got[half+i])
+		}
+	}
+}
+
+func TestERCTwinPerWriteInterval(t *testing.T) {
+	d := newDSM(t, 2, 1)
+	p := d.Proc(0)
+	_ = p.WriteAt(0x40000000, []byte{1})
+	_ = p.WriteAt(0x40000001, []byte{2}) // same interval: one twin
+	if d.Stats.WriteFaults != 1 {
+		t.Errorf("write faults = %d, want 1", d.Stats.WriteFaults)
+	}
+	d.Barrier()
+	_ = p.WriteAt(0x40000000, []byte{3}) // new interval: new twin
+	if d.Stats.WriteFaults != 2 {
+		t.Errorf("write faults = %d, want 2", d.Stats.WriteFaults)
+	}
+}
+
+func TestERCDiffOnlySendsChangedBytes(t *testing.T) {
+	d := newDSM(t, 2, 1)
+	p := d.Proc(0)
+	_ = p.WriteAt(0x40000100, []byte{9, 9})
+	p.Release()
+	if d.Stats.DiffBytes != 2 {
+		t.Errorf("diff bytes = %d, want 2", d.Stats.DiffBytes)
+	}
+	if d.HomeVersion(0) != 1 {
+		t.Errorf("home version = %d", d.HomeVersion(0))
+	}
+}
+
+func TestERCHomeDistribution(t *testing.T) {
+	d := newDSM(t, 3, 7)
+	for pg := 0; pg < 7; pg++ {
+		if d.HomeOf(pg) != pg%3 {
+			t.Errorf("home of %d = %d", pg, d.HomeOf(pg))
+		}
+	}
+}
+
+func TestERCOutOfRegionAccess(t *testing.T) {
+	d := newDSM(t, 1, 2)
+	if _, err := d.Proc(0).ReadAt(0x3fffffff, 1); err == nil {
+		t.Error("below-region read accepted")
+	}
+	if _, err := d.Proc(0).ReadAt(0x40000000+units.Addr(2*units.PageSize4K), 1); err == nil {
+		t.Error("beyond-region read accepted")
+	}
+	if err := d.Proc(0).WriteAt(0x40000000+units.Addr(units.PageSize4K-1), []byte{1, 2}); err == nil {
+		t.Error("page-crossing write accepted")
+	}
+}
+
+// Property: for any interleaving of single-writer updates with barriers, a
+// reader after the final barrier sees exactly the last written value at
+// every touched offset (sequential consistency at barrier granularity with
+// one writer).
+func TestERCSingleWriterPropertry(t *testing.T) {
+	type wr struct {
+		Off uint8
+		Val byte
+	}
+	f := func(writes []wr) bool {
+		d, err := NewDSM(2, units.Size4K, 0x40000000, 1)
+		if err != nil {
+			return false
+		}
+		want := map[uint8]byte{}
+		for _, w := range writes {
+			if err := d.Proc(0).WriteAt(0x40000000+units.Addr(w.Off), []byte{w.Val}); err != nil {
+				return false
+			}
+			want[w.Off] = w.Val
+		}
+		d.Barrier()
+		for off, val := range want {
+			got, err := d.Proc(1).ReadAt(0x40000000+units.Addr(off), 1)
+			if err != nil || got[0] != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestERC2MPages(t *testing.T) {
+	d, err := NewDSM(2, units.Size2M, 0x40000000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := units.Addr(0x40000000 + units.PageSize2M + 12345)
+	if err := d.Proc(0).WriteAt(va, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	d.Barrier()
+	got, err := d.Proc(1).ReadAt(va, 1)
+	if err != nil || got[0] != 7 {
+		t.Errorf("2M DSM read = %v, %v", got, err)
+	}
+	// One page fetch of 2MB fragments into 2048 messages plus a request.
+	if d.Stats.Msgs == 0 {
+		t.Error("no protocol messages counted")
+	}
+}

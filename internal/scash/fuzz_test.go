@@ -1,0 +1,58 @@
+package scash
+
+import (
+	"testing"
+
+	"hugeomp/internal/units"
+)
+
+// FuzzAllocator drives the shared-region allocator with an encoded op
+// sequence (byte >= 128: alloc of (b%16+1) KB; otherwise free the (b % live)
+// oldest block) and checks the invariants: no overlap, bounds respected,
+// usage accounting exact.
+func FuzzAllocator(f *testing.F) {
+	f.Add([]byte{200, 210, 3, 220, 0, 1})
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 255})
+	f.Add([]byte{129})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const arena = 4 * 1024 * 1024
+		a := NewAllocator(0x1000000, arena)
+		type block struct {
+			base units.Addr
+			size int64
+		}
+		var live []block
+		var want int64
+		for _, op := range ops {
+			if op >= 128 || len(live) == 0 {
+				sz := int64(op%16+1) * 1024
+				base, err := a.Alloc(sz)
+				if err != nil {
+					continue // arena full is fine
+				}
+				aligned := units.AlignUp(sz, 4096)
+				for _, b := range live {
+					if base < b.base+units.Addr(b.size) && b.base < base+units.Addr(aligned) {
+						t.Fatalf("overlap: [%#x,%#x) with [%#x,%#x)",
+							base, base+units.Addr(aligned), b.base, b.base+units.Addr(b.size))
+					}
+				}
+				if base < 0x1000000 || base+units.Addr(aligned) > 0x1000000+arena {
+					t.Fatalf("block escapes arena: %#x", base)
+				}
+				live = append(live, block{base, aligned})
+				want += aligned
+			} else {
+				i := int(op) % len(live)
+				if err := a.Free(live[i].base); err != nil {
+					t.Fatalf("free of live block: %v", err)
+				}
+				want -= live[i].size
+				live = append(live[:i], live[i+1:]...)
+			}
+			if a.Used() != want {
+				t.Fatalf("Used() = %d, want %d", a.Used(), want)
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package scash
+
+import (
+	"testing"
+
+	"hugeomp/internal/machine"
+	"hugeomp/internal/units"
+)
+
+// TestClusterModeContextDrivesERC wires a simulated hardware context to a
+// DSM process's protected page table: the context's accesses trap into the
+// ERC protocol through the machine-layer fault hook, exactly the cluster
+// configuration of the original Omni/SCASH (which the paper's intra-node
+// mode bypasses).
+func TestClusterModeContextDrivesERC(t *testing.T) {
+	const base = units.Addr(0x40000000)
+	d, err := NewDSM(2, units.Size4K, base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := d.Proc(0)
+
+	m := machine.New(machine.Opteron270())
+	m.AttachProcess(proc.PT)
+	ctxs, err := m.Configure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctxs[0]
+	c.OnFault = proc.FaultHandler()
+
+	// Cold read: traps (page Invalid), fetches from the home, retries.
+	c.Load(base)
+	if d.Stats.Fetches != 1 {
+		t.Errorf("fetches = %d, want 1", d.Stats.Fetches)
+	}
+	// Second read on the same page: no further protocol action.
+	c.Load(base + 64)
+	if d.Stats.Fetches != 1 {
+		t.Errorf("warm read refetched: %d", d.Stats.Fetches)
+	}
+	// Write: traps again (page ReadOnly), creates a twin.
+	c.Store(base + 128)
+	if d.Stats.WriteFaults != 1 {
+		t.Errorf("write faults = %d, want 1", d.Stats.WriteFaults)
+	}
+	// After a release the page is downgraded: next write re-twins.
+	proc.Release()
+	c.InvalidatePage(base, units.Size4K) // TLB shootdown accompanies the downgrade
+	c.Store(base + 256)
+	if d.Stats.WriteFaults != 2 {
+		t.Errorf("write faults after release = %d, want 2", d.Stats.WriteFaults)
+	}
+}

@@ -1,0 +1,253 @@
+// Package thp implements transparent huge page support — the paper's future
+// work ("transparent native kernel support for large pages is still not
+// present in the Linux kernel", §6) — using the reservation-based design of
+// Navarro, Iyer, Druschel & Cox (the paper's reference [16], discussed in
+// its related work):
+//
+//   - when a region is registered, nothing is mapped;
+//   - the first touch inside each 2 MB-aligned chunk RESERVES a naturally
+//     aligned 2 MB physical frame for it, but maps only the touched 4 KB
+//     base page out of the reservation (demand paging);
+//   - once enough of a chunk's base pages are populated, the chunk is
+//     PROMOTED: the 4 KB mappings are torn down (with TLB shootdowns) and
+//     replaced by a single 2 MB mapping — no copy is needed because the
+//     reservation guaranteed physical contiguity;
+//   - when the large-frame pool runs dry, reservations are BROKEN: untouched
+//     sub-frames are released and further faults in the chunk fall back to
+//     ordinary 4 KB frames.
+//
+// The manager plugs into the machine layer as a Context fault handler, so
+// simulated applications page in lazily and get large pages transparently —
+// without the explicit hugetlbfs preallocation of the paper's design. The
+// ablation bench compares the two.
+package thp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hugeomp/internal/mem"
+	"hugeomp/internal/pagetable"
+	"hugeomp/internal/units"
+)
+
+// ErrOutOfRegion is returned for faults outside every registered region.
+var ErrOutOfRegion = errors.New("thp: fault outside registered regions")
+
+// basePagesPerChunk is the number of 4 KB pages per 2 MB chunk.
+const basePagesPerChunk = int(units.PageSize2M / units.PageSize4K)
+
+// Stats counts manager events.
+type Stats struct {
+	SoftFaults         uint64 // demand-paging faults serviced
+	Reservations       uint64 // 2 MB frames reserved
+	Promotions         uint64 // chunks promoted to a 2 MB mapping
+	BrokenReservations uint64 // reservations released under pressure
+	Fallback4K         uint64 // base pages served without a reservation
+	Shootdowns         uint64 // TLB invalidations issued at promotion
+}
+
+// Shootdown is the hook the manager calls to invalidate stale translations
+// in every hardware context after it changes a mapping.
+type Shootdown func(va units.Addr, size units.PageSize)
+
+type chunk struct {
+	reserved bool
+	broken   bool // reservation lost; chunk stays 4 KB forever
+	promoted bool
+	basePFN  uint64 // of the reservation (2 MB aligned), when reserved
+	mapped   [basePagesPerChunk / 64]uint64
+	nMapped  int
+}
+
+func (c *chunk) isMapped(i int) bool { return c.mapped[i/64]&(1<<(i%64)) != 0 }
+func (c *chunk) setMapped(i int)     { c.mapped[i/64] |= 1 << (i % 64) }
+
+type region struct {
+	base   units.Addr
+	length int64
+	chunks []chunk
+}
+
+// Manager is a transparent-huge-page fault handler over one page table.
+type Manager struct {
+	mu      sync.Mutex
+	phys    *mem.PhysMem
+	pt      *pagetable.Table
+	regions []*region
+
+	// PromoteAt is the number of populated base pages after which a chunk
+	// is promoted. The Navarro design promotes at full population (512);
+	// lower values promote more eagerly at the cost of mapping untouched
+	// memory.
+	PromoteAt int
+
+	shoot Shootdown
+	Stats Stats
+}
+
+// New creates a manager over phys and pt. shoot may be nil (no TLB
+// shootdowns issued — single-context tests).
+func New(phys *mem.PhysMem, pt *pagetable.Table, shoot Shootdown) *Manager {
+	return &Manager{
+		phys:      phys,
+		pt:        pt,
+		PromoteAt: basePagesPerChunk,
+		shoot:     shoot,
+	}
+}
+
+// SetShootdown installs the TLB shootdown hook (the core layer wires it to
+// every configured hardware context).
+func (m *Manager) SetShootdown(s Shootdown) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shoot = s
+}
+
+// Register adds [base, base+length) as a demand-paged region. base must be
+// 2 MB aligned (so chunks align with possible large mappings).
+func (m *Manager) Register(base units.Addr, length int64) error {
+	if uint64(base)%uint64(units.PageSize2M) != 0 {
+		return fmt.Errorf("thp: region base %#x not 2MB aligned", base)
+	}
+	if length <= 0 {
+		return fmt.Errorf("thp: non-positive region length %d", length)
+	}
+	length = units.AlignUp(length, units.PageSize2M)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.regions = append(m.regions, &region{
+		base:   base,
+		length: length,
+		chunks: make([]chunk, length/units.PageSize2M),
+	})
+	return nil
+}
+
+func (m *Manager) find(va units.Addr) (*region, int, int) {
+	for _, r := range m.regions {
+		if va >= r.base && va < r.base+units.Addr(r.length) {
+			off := int64(va - r.base)
+			ci := int(off / units.PageSize2M)
+			pi := int(off % units.PageSize2M / units.PageSize4K)
+			return r, ci, pi
+		}
+	}
+	return nil, 0, 0
+}
+
+// HandleFault services a demand-paging fault at va: it maps the touched base
+// page (reserving a 2 MB frame for the chunk if possible) and promotes the
+// chunk when it reaches PromoteAt populated pages. It has the machine
+// layer's FaultHandler shape.
+func (m *Manager) HandleFault(va units.Addr, write bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ci, pi := m.find(va)
+	if r == nil {
+		return fmt.Errorf("%w: %#x", ErrOutOfRegion, va)
+	}
+	c := &r.chunks[ci]
+	if c.promoted {
+		// Already a 2 MB mapping: the fault must be a stale-TLB retry.
+		return nil
+	}
+	if c.isMapped(pi) {
+		return nil // raced retry
+	}
+	m.Stats.SoftFaults++
+	chunkVA := r.base + units.Addr(int64(ci)*units.PageSize2M)
+
+	// Reserve a 2 MB frame on the first touch of the chunk.
+	if !c.reserved && !c.broken {
+		if pfn, err := m.phys.Alloc2M(); err == nil {
+			c.reserved = true
+			c.basePFN = pfn
+			m.Stats.Reservations++
+		} else {
+			c.broken = true // pool dry: this chunk stays 4 KB
+			m.Stats.BrokenReservations++
+		}
+	}
+
+	var pfn uint64
+	if c.reserved {
+		pfn = c.basePFN + uint64(pi)
+	} else {
+		p, err := m.phys.Alloc4K()
+		if err != nil {
+			return fmt.Errorf("thp: out of memory at %#x: %w", va, err)
+		}
+		pfn = p
+		m.Stats.Fallback4K++
+	}
+	pageVA := chunkVA + units.Addr(int64(pi)*units.PageSize4K)
+	if err := m.pt.Map(pageVA, units.Size4K, pfn, pagetable.ProtRW); err != nil {
+		return err
+	}
+	c.setMapped(pi)
+	c.nMapped++
+
+	if c.reserved && c.nMapped >= m.PromoteAt {
+		return m.promote(r, ci, chunkVA)
+	}
+	return nil
+}
+
+// promote replaces a chunk's base mappings with one 2 MB mapping. Untouched
+// base pages inside the reservation become mapped as a side effect (they are
+// physically contiguous by construction). Caller holds m.mu.
+func (m *Manager) promote(r *region, ci int, chunkVA units.Addr) error {
+	c := &r.chunks[ci]
+	for pi := 0; pi < basePagesPerChunk; pi++ {
+		if !c.isMapped(pi) {
+			continue
+		}
+		pageVA := chunkVA + units.Addr(int64(pi)*units.PageSize4K)
+		if _, err := m.pt.Unmap(pageVA, units.Size4K); err != nil {
+			return fmt.Errorf("thp: promote unmap: %w", err)
+		}
+		if m.shoot != nil {
+			m.shoot(pageVA, units.Size4K)
+			m.Stats.Shootdowns++
+		}
+	}
+	if err := m.pt.Map(chunkVA, units.Size2M, c.basePFN, pagetable.ProtRW); err != nil {
+		return fmt.Errorf("thp: promote map: %w", err)
+	}
+	c.promoted = true
+	m.Stats.Promotions++
+	return nil
+}
+
+// Touch pre-faults the whole range (an madvise(MADV_WILLNEED) analogue used
+// by tests and by eager initialisation).
+func (m *Manager) Touch(base units.Addr, length int64) error {
+	for off := int64(0); off < length; off += units.PageSize4K {
+		if _, err := m.pt.Translate(base + units.Addr(off)); err == nil {
+			continue
+		}
+		if err := m.HandleFault(base+units.Addr(off), true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromotedBytes reports how much of the registered space is mapped with
+// 2 MB pages.
+func (m *Manager) PromotedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, r := range m.regions {
+		for i := range r.chunks {
+			if r.chunks[i].promoted {
+				n += units.PageSize2M
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+package tlb
+
+import (
+	"fmt"
+	"strings"
+
+	"hugeomp/internal/units"
+)
+
+// LevelSpec sizes one TLB level, with separate entry classes per page size
+// (processors of the paper's era kept distinct, smaller arrays for large
+// pages).
+type LevelSpec struct {
+	E4K Config // 4 KB-entry class
+	E2M Config // 2 MB-entry class
+}
+
+// Spec sizes a full two-level TLB stack (L1 + optional L2).
+type Spec struct {
+	Name string
+	L1   LevelSpec
+	L2   LevelSpec // zero Entries = no second level
+}
+
+// Halve returns a Spec with every structure at half capacity (minimum one
+// entry per present structure). This models the paper's observation that
+// with two SMT threads per core "the effective number of TLB entries could
+// potentially be halved".
+func (s Spec) Halve() Spec {
+	h := func(c Config) Config {
+		if c.Entries == 0 {
+			return c
+		}
+		e := c.Entries / 2
+		if e < 1 {
+			e = 1
+		}
+		w := c.Ways
+		if w > e {
+			w = e
+		}
+		return Config{Entries: e, Ways: w}
+	}
+	return Spec{
+		Name: s.Name + "/smt-half",
+		L1:   LevelSpec{E4K: h(s.L1.E4K), E2M: h(s.L1.E2M)},
+		L2:   LevelSpec{E4K: h(s.L2.E4K), E2M: h(s.L2.E2M)},
+	}
+}
+
+// Coverage returns the bytes of address space the whole stack can map for
+// the given page size (the paper's Table 1 "Coverage" rows).
+func (s Spec) Coverage(size units.PageSize) int64 {
+	var entries int
+	if size == units.Size2M {
+		entries = s.L1.E2M.Entries + s.L2.E2M.Entries
+	} else {
+		entries = s.L1.E4K.Entries + s.L2.E4K.Entries
+	}
+	return int64(entries) * size.Bytes()
+}
+
+// Outcome classifies a TLB access.
+type Outcome uint8
+
+const (
+	HitL1 Outcome = iota
+	HitL2
+	Miss
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	default:
+		return "miss"
+	}
+}
+
+// Hierarchy is an instantiated two-level split-size TLB stack for one
+// context (one ITLB or one DTLB).
+type Hierarchy struct {
+	spec Spec
+	l1   [units.NumPageSizes]*TLB
+	l2   [units.NumPageSizes]*TLB
+}
+
+// NewHierarchy instantiates spec.
+func NewHierarchy(spec Spec) *Hierarchy {
+	h := &Hierarchy{spec: spec}
+	h.l1[units.Size4K] = New(spec.L1.E4K)
+	h.l1[units.Size2M] = New(spec.L1.E2M)
+	h.l2[units.Size4K] = New(spec.L2.E4K)
+	h.l2[units.Size2M] = New(spec.L2.E2M)
+	return h
+}
+
+// Spec returns the hierarchy's configuration.
+func (h *Hierarchy) Spec() Spec { return h.spec }
+
+// Access probes the stack for vpn of the given page-size class; write
+// accesses require an entry with the W bit. A second-level hit promotes the
+// entry into L1. On a full miss (or W-bit microfault) the caller must
+// perform a page walk and then call Fill.
+func (h *Hierarchy) Access(vpn uint64, size units.PageSize, write bool) Outcome {
+	if h.l1[size].Lookup(vpn, write) {
+		return HitL1
+	}
+	if e, ok := h.l2[size].LookupEntry(vpn, write); ok {
+		// Promote to L1 exclusively: the entry moves up and the L1 victim
+		// falls back to L2, so the stack's effective capacity is L1+L2 —
+		// how the Opteron's two-level DTLB behaves in aggregate.
+		h.l2[size].Invalidate(vpn)
+		if ev, evOK := h.l1[size].Insert(vpn, e.Writable); evOK {
+			h.l2[size].Insert(ev.VPN, ev.Writable)
+		}
+		return HitL2
+	}
+	return Miss
+}
+
+// Fill installs a translation after a page walk.
+func (h *Hierarchy) Fill(vpn uint64, size units.PageSize, writable bool) {
+	if ev, ok := h.l1[size].Insert(vpn, writable); ok {
+		h.l2[size].Insert(ev.VPN, ev.Writable)
+	}
+}
+
+// Invalidate performs a shootdown of vpn in every level of its size class.
+func (h *Hierarchy) Invalidate(vpn uint64, size units.PageSize) {
+	h.l1[size].Invalidate(vpn)
+	h.l2[size].Invalidate(vpn)
+}
+
+// Flush empties every structure (a full TLB flush, e.g. on context switch in
+// the paper-era processors without ASIDs; our SMT model keeps per-context
+// stacks instead, so this is used mainly by tests and by region resets).
+func (h *Hierarchy) Flush() {
+	for i := range h.l1 {
+		h.l1[i].Flush()
+		h.l2[i].Flush()
+	}
+}
+
+// String summarises the stack.
+func (h *Hierarchy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: L1[4K %d/%dw, 2M %d/%dw]",
+		h.spec.Name, h.spec.L1.E4K.Entries, h.spec.L1.E4K.Ways,
+		h.spec.L1.E2M.Entries, h.spec.L1.E2M.Ways)
+	if h.spec.L2.E4K.Entries > 0 || h.spec.L2.E2M.Entries > 0 {
+		fmt.Fprintf(&b, " L2[4K %d/%dw, 2M %d/%dw]",
+			h.spec.L2.E4K.Entries, h.spec.L2.E4K.Ways,
+			h.spec.L2.E2M.Entries, h.spec.L2.E2M.Ways)
+	}
+	return b.String()
+}

@@ -1,0 +1,214 @@
+// Package tlb implements the translation lookaside buffers of the simulated
+// processors: set-associative (or fully associative) LRU-replacement caches
+// of virtual-page-number → translation mappings, with separate entry classes
+// for 4 KB and 2 MB pages and up to two levels, exactly the structure the
+// paper reports for the Opteron and Xeon (its Table 1).
+//
+// A TLB is owned by a single simulated hardware context and is not
+// goroutine-safe; the machine layer enforces single-owner access (its
+// default resource-partitioned SMT model) or wraps accesses in a lock (the
+// true-shared ablation).
+package tlb
+
+import "fmt"
+
+// Config sizes one TLB structure. Ways == 0 or Ways >= Entries means fully
+// associative. Entries == 0 means the structure is absent (for example the
+// Opteron's L2 DTLB holds no 2 MB entries).
+type Config struct {
+	Entries int
+	Ways    int
+}
+
+type way struct {
+	vpn      uint64
+	stamp    uint64
+	valid    bool
+	writable bool // write permission recorded at fill time (the W bit)
+}
+
+// TLB is a single LRU translation cache for one page-size class.
+type TLB struct {
+	ways     []way // sets*assoc entries, set-major
+	assoc    int
+	setMask  uint64
+	tick     uint64
+	mruIndex []int // per-set most-recently-used way, checked first
+
+	hits   uint64
+	misses uint64
+}
+
+// New builds a TLB from cfg. It returns nil for an absent structure
+// (cfg.Entries == 0); all methods on a nil *TLB behave as a structure that
+// never hits.
+func New(cfg Config) *TLB {
+	if cfg.Entries == 0 {
+		return nil
+	}
+	assoc := cfg.Ways
+	if assoc <= 0 || assoc > cfg.Entries {
+		assoc = cfg.Entries
+	}
+	sets := cfg.Entries / assoc
+	if sets*assoc != cfg.Entries {
+		panic(fmt.Sprintf("tlb: entries %d not divisible by ways %d", cfg.Entries, assoc))
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("tlb: set count %d not a power of two", sets))
+	}
+	return &TLB{
+		ways:     make([]way, cfg.Entries),
+		assoc:    assoc,
+		setMask:  uint64(sets - 1),
+		mruIndex: make([]int, sets),
+	}
+}
+
+// Entries returns the capacity of the TLB (0 for an absent structure).
+func (t *TLB) Entries() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ways)
+}
+
+// Lookup probes for vpn and refreshes its LRU stamp on a hit. A write
+// (needW) hitting an entry filled without write permission misses — the
+// hardware takes a permission microfault and re-walks, which is how
+// protection upgrades become visible (x86's dirty/W-bit behaviour).
+func (t *TLB) Lookup(vpn uint64, needW bool) bool {
+	_, ok := t.LookupEntry(vpn, needW)
+	return ok
+}
+
+// LookupEntry is Lookup returning the resident entry (so callers moving
+// entries between levels can preserve the recorded permission).
+func (t *TLB) LookupEntry(vpn uint64, needW bool) (Entry, bool) {
+	if t == nil {
+		return Entry{}, false
+	}
+	set := vpn & t.setMask
+	base := int(set) * t.assoc
+	// MRU fast path: spatial locality makes consecutive accesses to the
+	// same page the common case.
+	if m := t.mruIndex[set]; t.ways[base+m].valid && t.ways[base+m].vpn == vpn &&
+		(!needW || t.ways[base+m].writable) {
+		t.tick++
+		t.ways[base+m].stamp = t.tick
+		t.hits++
+		return Entry{VPN: vpn, Writable: t.ways[base+m].writable}, true
+	}
+	for i := 0; i < t.assoc; i++ {
+		w := &t.ways[base+i]
+		if w.valid && w.vpn == vpn && (!needW || w.writable) {
+			t.tick++
+			w.stamp = t.tick
+			t.mruIndex[set] = i
+			t.hits++
+			return Entry{VPN: vpn, Writable: w.writable}, true
+		}
+	}
+	t.misses++
+	return Entry{}, false
+}
+
+// Entry is a TLB entry as seen by eviction handling.
+type Entry struct {
+	VPN      uint64
+	Writable bool
+}
+
+// Insert fills vpn with the given write permission, evicting the LRU way of
+// its set if necessary. It returns the evicted entry and whether an eviction
+// happened. Inserting a vpn that is already resident updates it in place
+// (e.g. a permission upgrade after a W-bit microfault).
+func (t *TLB) Insert(vpn uint64, writable bool) (evicted Entry, wasEvicted bool) {
+	if t == nil {
+		return Entry{}, false
+	}
+	set := vpn & t.setMask
+	base := int(set) * t.assoc
+	inPlace, empty, lru := -1, -1, -1
+	oldest := ^uint64(0)
+	for i := 0; i < t.assoc; i++ {
+		w := &t.ways[base+i]
+		switch {
+		case w.valid && w.vpn == vpn:
+			inPlace = i
+		case !w.valid:
+			if empty < 0 {
+				empty = i
+			}
+		case w.stamp < oldest:
+			oldest, lru = w.stamp, i
+		}
+	}
+	victim := inPlace
+	if victim < 0 {
+		victim = empty
+	}
+	if victim < 0 {
+		victim = lru
+	}
+	w := &t.ways[base+victim]
+	wasEvicted = inPlace < 0 && w.valid
+	evicted = Entry{VPN: w.vpn, Writable: w.writable}
+	t.tick++
+	*w = way{vpn: vpn, stamp: t.tick, valid: true, writable: writable}
+	t.mruIndex[set] = victim
+	return evicted, wasEvicted
+}
+
+// Invalidate removes vpn if present (a TLB shootdown), reporting whether an
+// entry was dropped.
+func (t *TLB) Invalidate(vpn uint64) bool {
+	if t == nil {
+		return false
+	}
+	set := vpn & t.setMask
+	base := int(set) * t.assoc
+	for i := 0; i < t.assoc; i++ {
+		w := &t.ways[base+i]
+		if w.valid && w.vpn == vpn {
+			w.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	if t == nil {
+		return
+	}
+	for i := range t.ways {
+		t.ways[i] = way{}
+	}
+	for i := range t.mruIndex {
+		t.mruIndex[i] = 0
+	}
+}
+
+// Stats returns lifetime hit/miss counts.
+func (t *TLB) Stats() (hits, misses uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.hits, t.misses
+}
+
+// Live returns the number of valid entries (used by tests and invariants).
+func (t *TLB) Live() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.ways {
+		if t.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}

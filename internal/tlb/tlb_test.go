@@ -1,0 +1,201 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNilTLBNeverHits(t *testing.T) {
+	var nilTLB *TLB = New(Config{Entries: 0})
+	if nilTLB != nil {
+		t.Fatal("Entries:0 should yield nil TLB")
+	}
+	if nilTLB.Lookup(5, false) {
+		t.Error("nil TLB hit")
+	}
+	nilTLB.Insert(5, true) // must not panic
+	nilTLB.Flush()
+	if nilTLB.Entries() != 0 || nilTLB.Live() != 0 {
+		t.Error("nil TLB reports capacity")
+	}
+}
+
+func TestHitAfterInsert(t *testing.T) {
+	tl := New(Config{Entries: 8})
+	if tl.Lookup(100, false) {
+		t.Error("hit on empty TLB")
+	}
+	tl.Insert(100, true)
+	if !tl.Lookup(100, false) {
+		t.Error("miss after insert")
+	}
+}
+
+func TestLRUEvictionFullyAssociative(t *testing.T) {
+	tl := New(Config{Entries: 4})
+	for vpn := uint64(0); vpn < 4; vpn++ {
+		tl.Insert(vpn, true)
+	}
+	// Touch 0 so 1 becomes LRU.
+	if !tl.Lookup(0, false) {
+		t.Fatal("0 should be resident")
+	}
+	ev, was := tl.Insert(99, true)
+	if !was || ev.VPN != 1 {
+		t.Errorf("evicted %+v (evict=%v), want vpn 1", ev, was)
+	}
+	if tl.Lookup(1, false) {
+		t.Error("1 should be evicted")
+	}
+	for _, vpn := range []uint64{0, 2, 3, 99} {
+		if !tl.Lookup(vpn, false) {
+			t.Errorf("%d should be resident", vpn)
+		}
+	}
+}
+
+func TestSetAssociativeConflicts(t *testing.T) {
+	// 8 entries, 2 ways -> 4 sets. VPNs congruent mod 4 conflict.
+	tl := New(Config{Entries: 8, Ways: 2})
+	tl.Insert(0, true)
+	tl.Insert(4, true)
+	tl.Insert(8, true) // evicts 0 (LRU in set 0)
+	if tl.Lookup(0, false) {
+		t.Error("0 should be evicted by set conflict")
+	}
+	if !tl.Lookup(4, false) || !tl.Lookup(8, false) {
+		t.Error("4 and 8 should be resident")
+	}
+	// A different set is unaffected.
+	tl.Insert(1, true)
+	if !tl.Lookup(1, false) {
+		t.Error("1 should be resident")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tl := New(Config{Entries: 4})
+	tl.Insert(7, true)
+	if !tl.Invalidate(7) {
+		t.Error("invalidate should find 7")
+	}
+	if tl.Lookup(7, false) {
+		t.Error("7 should be gone")
+	}
+	if tl.Invalidate(7) {
+		t.Error("second invalidate should miss")
+	}
+}
+
+func TestLiveNeverExceedsCapacity(t *testing.T) {
+	f := func(vpns []uint16) bool {
+		tl := New(Config{Entries: 16, Ways: 4})
+		for _, v := range vpns {
+			tl.Insert(uint64(v), true)
+			if tl.Live() > 16 {
+				return false
+			}
+		}
+		// Every resident entry must be findable.
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: inserting then immediately looking up always hits, regardless of
+// history (the entry can't be evicted before any intervening insert).
+func TestInsertThenLookupHits(t *testing.T) {
+	f := func(vpns []uint16) bool {
+		tl := New(Config{Entries: 8, Ways: 2})
+		for _, v := range vpns {
+			tl.Insert(uint64(v), true)
+			if !tl.Lookup(uint64(v), false) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a working set no larger than associativity in one set is never
+// evicted under LRU (stack property for fully-associative TLBs).
+func TestLRUStackProperty(t *testing.T) {
+	f := func(accesses []uint8) bool {
+		tl := New(Config{Entries: 8}) // fully associative
+		hot := []uint64{1000, 1001, 1002, 1003}
+		for _, h := range hot {
+			tl.Insert(h, true)
+		}
+		miss := 0
+		for _, a := range accesses {
+			// Alternate between hot pages and cold pages; hot working set
+			// of 4 + 1 in-flight cold page <= 8 entries, so hot never
+			// misses.
+			cold := uint64(2000 + int(a))
+			tl.Insert(cold, true)
+			for _, h := range hot {
+				if !tl.Lookup(h, false) {
+					miss++
+				}
+			}
+		}
+		return miss == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	tl := New(Config{Entries: 2})
+	tl.Lookup(1, false) // miss
+	tl.Insert(1, true)
+	tl.Lookup(1, false) // hit
+	tl.Lookup(1, false) // hit (MRU path)
+	h, m := tl.Stats()
+	if h != 2 || m != 1 {
+		t.Errorf("stats = %d hits %d misses, want 2/1", h, m)
+	}
+}
+
+func TestBadConfigsPanic(t *testing.T) {
+	for _, cfg := range []Config{
+		{Entries: 10, Ways: 4}, // not divisible
+		{Entries: 24, Ways: 8}, // 3 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestWriteBitMicrofault(t *testing.T) {
+	tl := New(Config{Entries: 4})
+	tl.Insert(5, false) // filled by a read of a read-only page
+	if !tl.Lookup(5, false) {
+		t.Error("read of read-filled entry should hit")
+	}
+	if tl.Lookup(5, true) {
+		t.Error("write to non-writable entry must microfault (miss)")
+	}
+	// The re-walk upgrades the entry in place: no eviction, then writes hit.
+	if _, evicted := tl.Insert(5, true); evicted {
+		t.Error("permission upgrade must not evict")
+	}
+	if !tl.Lookup(5, true) {
+		t.Error("write after upgrade should hit")
+	}
+	if tl.Live() != 1 {
+		t.Errorf("live = %d, want 1 (in-place update)", tl.Live())
+	}
+}

@@ -1,0 +1,85 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeBytes(t *testing.T) {
+	if Size4K.Bytes() != 4096 {
+		t.Errorf("Size4K.Bytes() = %d, want 4096", Size4K.Bytes())
+	}
+	if Size2M.Bytes() != 2*1024*1024 {
+		t.Errorf("Size2M.Bytes() = %d, want 2MiB", Size2M.Bytes())
+	}
+	if Size4K.Shift() != 12 || Size2M.Shift() != 21 {
+		t.Errorf("shifts = %d,%d want 12,21", Size4K.Shift(), Size2M.Shift())
+	}
+}
+
+func TestPageSizeString(t *testing.T) {
+	if Size4K.String() != "4KB" || Size2M.String() != "2MB" {
+		t.Errorf("strings: %s %s", Size4K, Size2M)
+	}
+}
+
+func TestVPNBaseConsistency(t *testing.T) {
+	// Property: for any address and size, Base(va) <= va < Base(va)+Bytes,
+	// and VPN is Base/Bytes.
+	f := func(raw uint64) bool {
+		va := Addr(raw)
+		for _, s := range []PageSize{Size4K, Size2M} {
+			base := s.Base(va)
+			if base > va || uint64(va)-uint64(base) >= uint64(s.Bytes()) {
+				return false
+			}
+			if s.VPN(va) != uint64(base)/uint64(s.Bytes()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512B"},
+		{4 * KB, "4KB"},
+		{512 * KB, "512KB"},
+		{64 * MB, "64MB"},
+		{2 * GB, "2GB"},
+		{GB*2 + GB*4/10, "2.4GB"},
+		{1536 * KB, "1.5MB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.n); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	if AlignUp(1, 4096) != 4096 {
+		t.Error("AlignUp(1,4096)")
+	}
+	if AlignUp(4096, 4096) != 4096 {
+		t.Error("AlignUp(4096,4096)")
+	}
+	if AlignUp(0, 4096) != 0 {
+		t.Error("AlignUp(0,4096)")
+	}
+	f := func(raw uint32) bool {
+		n := int64(raw)
+		a := AlignUp(n, PageSize2M)
+		return a >= n && a%PageSize2M == 0 && a-n < PageSize2M
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
