@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fuzz clean
+.PHONY: all build test check race bench simbench experiments examples fuzz clean
 
-all: build test
+all: build test check
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,21 @@ build:
 test:
 	$(GO) test ./...
 
+# Static and concurrency hygiene for the hot simulator paths: vet, gofmt
+# drift, and the race detector over the packages that share state
+# (true-sharing caches, shootdown mailbox, parallel harness).
+check:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) test -race -short -count=1 ./internal/machine/ ./internal/omp/ ./internal/par/ ./internal/bench/
+
 race:
-	$(GO) test -race ./internal/omp/ ./internal/npb/ ./internal/machine/ ./internal/mpi/
+	$(GO) test -race ./internal/omp/ ./internal/npb/ ./internal/machine/ ./internal/mpi/ ./internal/par/ ./internal/bench/
+
+# Host-side simulator performance (ns per simulated access) -> BENCH_simulator.json
+simbench:
+	$(GO) run ./cmd/experiments -bench
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

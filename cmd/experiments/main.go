@@ -6,6 +6,7 @@
 //
 //	experiments -class A            # everything (minutes)
 //	experiments -class W -only fig5 # one experiment
+//	experiments -bench              # measure simulator perf -> BENCH_simulator.json
 package main
 
 import (
@@ -23,11 +24,32 @@ func main() {
 	class := flag.String("class", "W", "problem class: T, S, W or A")
 	only := flag.String("only", "", "run one experiment: table1, table2, fig3, fig4, fig5 or extensions")
 	plot := flag.Bool("plot", false, "render fig4/fig5 as ASCII bar charts instead of tables")
+	doBench := flag.Bool("bench", false, "measure simulator host-side performance and write -bench-out")
+	benchOut := flag.String("bench-out", "BENCH_simulator.json", "output path for -bench")
 	flag.Parse()
 
 	cl, err := npb.ParseClass(*class)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *doBench {
+		perf, err := bench.MeasureSimPerf(cl, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.WriteSimPerf(f, perf); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Print(bench.FormatSimPerf(perf))
+		log.Printf("wrote %s", *benchOut)
+		return
 	}
 	w := os.Stdout
 	switch *only {

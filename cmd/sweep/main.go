@@ -20,6 +20,7 @@ import (
 	"hugeomp/internal/core"
 	"hugeomp/internal/machine"
 	"hugeomp/internal/npb"
+	"hugeomp/internal/par"
 	"hugeomp/internal/stats"
 )
 
@@ -45,34 +46,47 @@ func main() {
 		log.Fatalf("unknown machine %q", *model)
 	}
 
-	fmt.Printf("sensitivity of %s's 2MB-page gain to %s (%s, %d threads, class %s)\n\n",
-		*app, *param, base.Name, *threads, cl)
-	fmt.Printf("%12s%12s%12s%12s\n", *param, "4KB (s)", "2MB (s)", "gain")
+	var vals []uint64
 	for _, tok := range strings.Split(*values, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
 		if err != nil {
 			log.Fatalf("bad value %q: %v", tok, err)
 		}
+		vals = append(vals, v)
+	}
+
+	// Every (value, policy) cell builds an independent system, so the sweep
+	// fans out over the bounded worker pool; results come back in cell
+	// order, so the printed table is deterministic.
+	policies := []core.PagePolicy{core.Policy4K, core.Policy2M}
+	secs, err := par.Map(len(vals)*len(policies), func(i int) (float64, error) {
 		m := base
-		if err := setCost(&m.Costs, *param, v); err != nil {
-			log.Fatal(err)
+		if err := setCost(&m.Costs, *param, vals[i/len(policies)]); err != nil {
+			return 0, err
 		}
-		var secs [2]float64
-		for i, policy := range []core.PagePolicy{core.Policy4K, core.Policy2M} {
-			k, err := npb.New(*app)
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := npb.Run(k, npb.RunConfig{
-				Model: m, Threads: *threads, Policy: policy, Class: cl,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			secs[i] = res.Seconds
+		k, err := npb.New(*app)
+		if err != nil {
+			return 0, err
 		}
+		res, err := npb.Run(k, npb.RunConfig{
+			Model: m, Threads: *threads, Policy: policies[i%len(policies)], Class: cl,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Seconds, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sensitivity of %s's 2MB-page gain to %s (%s, %d threads, class %s)\n\n",
+		*app, *param, base.Name, *threads, cl)
+	fmt.Printf("%12s%12s%12s%12s\n", *param, "4KB (s)", "2MB (s)", "gain")
+	for i, v := range vals {
+		s4, s2 := secs[i*2], secs[i*2+1]
 		fmt.Printf("%12d%11.4fs%11.4fs%11.1f%%\n",
-			v, secs[0], secs[1], stats.ImprovementPct(secs[0], secs[1]))
+			v, s4, s2, stats.ImprovementPct(s4, s2))
 	}
 }
 

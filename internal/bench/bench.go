@@ -18,9 +18,30 @@ import (
 	"hugeomp/internal/cpuid"
 	"hugeomp/internal/machine"
 	"hugeomp/internal/npb"
+	"hugeomp/internal/par"
 	"hugeomp/internal/stats"
 	"hugeomp/internal/units"
 )
+
+// Every experiment cell (one kernel run on one configuration) builds its own
+// core.System and shares nothing with its neighbours, so the harness fans
+// the cells out over par.Map's GOMAXPROCS-bounded worker pool. Results come
+// back in cell order, so the printed tables are byte-identical to the old
+// sequential harness.
+
+// runCell executes one benchmark cell.
+func runCell(app string, model machine.Model, policy core.PagePolicy, threads int, class npb.Class) (npb.Result, error) {
+	k, err := npb.New(app)
+	if err != nil {
+		return npb.Result{}, err
+	}
+	return npb.Run(k, npb.RunConfig{
+		Model:   model,
+		Threads: threads,
+		Policy:  policy,
+		Class:   class,
+	})
+}
 
 // Table1 prints the paper's Table 1 from the simulated processors' CPUID
 // descriptors, in the paper's column order (Xeon, Opteron).
@@ -41,11 +62,12 @@ type FootprintRow struct {
 // given class (by building the system and running setup, exactly where the
 // paper measured its Table 2).
 func Table2Data(class npb.Class) ([]FootprintRow, error) {
-	var rows []FootprintRow
-	for _, name := range npb.Names() {
+	names := npb.Names()
+	return par.Map(len(names), func(i int) (FootprintRow, error) {
+		name := names[i]
 		k, err := npb.New(name)
 		if err != nil {
-			return nil, err
+			return FootprintRow{}, err
 		}
 		sys, err := core.NewSystem(core.Config{
 			Model:       machine.Opteron270(),
@@ -54,21 +76,20 @@ func Table2Data(class npb.Class) ([]FootprintRow, error) {
 			PhysBytes:   1 * units.GB,
 		})
 		if err != nil {
-			return nil, err
+			return FootprintRow{}, err
 		}
 		if err := k.Setup(sys, class); err != nil {
-			return nil, fmt.Errorf("bench: setup %s: %w", name, err)
+			return FootprintRow{}, fmt.Errorf("bench: setup %s: %w", name, err)
 		}
 		pi, pd := k.PaperFootprint()
-		rows = append(rows, FootprintRow{
+		return FootprintRow{
 			App:        name,
 			InstrMB:    float64(sys.InstrFootprint()) / float64(units.MB),
 			DataMB:     float64(sys.DataFootprint()) / float64(units.MB),
 			PaperInstr: pi,
 			PaperData:  pd,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table2 prints the Table 2 reproduction.
@@ -99,29 +120,19 @@ type Fig3Row struct {
 // pages (the paper's Figure 3 configuration) and reports aggregate ITLB
 // misses and their rate.
 func Fig3Data(class npb.Class) ([]Fig3Row, error) {
-	var rows []Fig3Row
-	for _, name := range npb.Names() {
-		k, err := npb.New(name)
+	names := npb.Names()
+	return par.Map(len(names), func(i int) (Fig3Row, error) {
+		res, err := runCell(names[i], machine.Opteron270(), core.Policy4K, 4, class)
 		if err != nil {
-			return nil, err
+			return Fig3Row{}, err
 		}
-		res, err := npb.Run(k, npb.RunConfig{
-			Model:   machine.Opteron270(),
-			Threads: 4,
-			Policy:  core.Policy4K,
-			Class:   class,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig3Row{
-			App:        name,
+		return Fig3Row{
+			App:        names[i],
 			Misses:     res.Counters.ITLBL1Miss,
 			Seconds:    res.Seconds,
 			MissesPerS: stats.Ratio(float64(res.Counters.ITLBL1Miss), res.Seconds),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Fig3 prints the Figure 3 reproduction.
@@ -168,34 +179,34 @@ func Fig4Data(class npb.Class, apps []string) ([]Fig4Point, error) {
 	if apps == nil {
 		apps = npb.Names()
 	}
-	var pts []Fig4Point
+	type cell struct {
+		app     string
+		model   machine.Model
+		policy  core.PagePolicy
+		threads int
+	}
+	var cells []cell
 	for _, name := range apps {
 		for _, model := range machine.Models() {
 			for _, policy := range []core.PagePolicy{core.Policy4K, core.Policy2M} {
 				for _, threads := range Fig4Threads(model) {
-					k, err := npb.New(name)
-					if err != nil {
-						return nil, err
-					}
-					res, err := npb.Run(k, npb.RunConfig{
-						Model:   model,
-						Threads: threads,
-						Policy:  policy,
-						Class:   class,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("bench: %s on %s/%v/%d: %w",
-							name, model.Name, policy, threads, err)
-					}
-					pts = append(pts, Fig4Point{
-						App: name, Model: model.Name, Policy: policy,
-						Threads: threads, Seconds: res.Seconds, Cycles: res.Cycles,
-					})
+					cells = append(cells, cell{name, model, policy, threads})
 				}
 			}
 		}
 	}
-	return pts, nil
+	return par.Map(len(cells), func(i int) (Fig4Point, error) {
+		cl := cells[i]
+		res, err := runCell(cl.app, cl.model, cl.policy, cl.threads, class)
+		if err != nil {
+			return Fig4Point{}, fmt.Errorf("bench: %s on %s/%v/%d: %w",
+				cl.app, cl.model.Name, cl.policy, cl.threads, err)
+		}
+		return Fig4Point{
+			App: cl.app, Model: cl.model.Name, Policy: cl.policy,
+			Threads: cl.threads, Seconds: res.Seconds, Cycles: res.Cycles,
+		}, nil
+	})
 }
 
 // Fig4 prints the Figure 4 reproduction for the given apps (nil = all).
@@ -246,31 +257,30 @@ type Fig5Row struct {
 // Fig5Data reproduces Figure 5: DTLB misses (page walks) with 4 KB and 2 MB
 // pages at 4 threads on the Opteron, normalized to the 4 KB count.
 func Fig5Data(class npb.Class) ([]Fig5Row, error) {
-	var rows []Fig5Row
-	for _, name := range npb.Names() {
-		var walks [2]uint64
-		for i, policy := range []core.PagePolicy{core.Policy4K, core.Policy2M} {
-			k, err := npb.New(name)
-			if err != nil {
-				return nil, err
-			}
-			res, err := npb.Run(k, npb.RunConfig{
-				Model:   machine.Opteron270(),
-				Threads: 4,
-				Policy:  policy,
-				Class:   class,
-			})
-			if err != nil {
-				return nil, err
-			}
-			walks[i] = res.Counters.DTLBWalks()
+	names := npb.Names()
+	policies := []core.PagePolicy{core.Policy4K, core.Policy2M}
+	// One cell per (app, policy); rows are assembled from the ordered
+	// results afterwards.
+	walks, err := par.Map(len(names)*len(policies), func(i int) (uint64, error) {
+		res, err := runCell(names[i/len(policies)], machine.Opteron270(),
+			policies[i%len(policies)], 4, class)
+		if err != nil {
+			return 0, err
 		}
-		rows = append(rows, Fig5Row{
+		return res.Counters.DTLBWalks(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, len(names))
+	for i, name := range names {
+		w4, w2 := walks[i*2], walks[i*2+1]
+		rows[i] = Fig5Row{
 			App:        name,
-			Walks4K:    walks[0],
-			Walks2M:    walks[1],
-			Normalized: stats.Ratio(float64(walks[1]), float64(walks[0])),
-		})
+			Walks4K:    w4,
+			Walks2M:    w2,
+			Normalized: stats.Ratio(float64(w2), float64(w4)),
+		}
 	}
 	return rows, nil
 }

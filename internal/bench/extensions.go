@@ -7,6 +7,7 @@ import (
 	"hugeomp/internal/core"
 	"hugeomp/internal/machine"
 	"hugeomp/internal/npb"
+	"hugeomp/internal/par"
 	"hugeomp/internal/stats"
 )
 
@@ -31,31 +32,36 @@ func ExtensionPolicies(class npb.Class) ([]PolicyRow, error) {
 	policies := []core.PagePolicy{
 		core.Policy4K, core.Policy2M, core.PolicyMixed, core.PolicyTransparent,
 	}
-	var rows []PolicyRow
-	for _, name := range npb.Names() {
+	names := npb.Names()
+	type cellRes struct {
+		seconds float64
+		walks   uint64
+	}
+	cells, err := par.Map(len(names)*len(policies), func(i int) (cellRes, error) {
+		name := names[i/len(policies)]
+		policy := policies[i%len(policies)]
+		res, err := runCell(name, machine.Opteron270(), policy, 4, class)
+		if err != nil {
+			return cellRes{}, fmt.Errorf("bench: %s/%v: %w", name, policy, err)
+		}
+		return cellRes{res.Seconds, res.Counters.DTLBWalks()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PolicyRow, len(names))
+	for i, name := range names {
 		row := PolicyRow{
 			App:     name,
 			Seconds: map[core.PagePolicy]float64{},
 			Walks:   map[core.PagePolicy]uint64{},
 		}
-		for _, policy := range policies {
-			k, err := npb.New(name)
-			if err != nil {
-				return nil, err
-			}
-			res, err := npb.Run(k, npb.RunConfig{
-				Model:   machine.Opteron270(),
-				Threads: 4,
-				Policy:  policy,
-				Class:   class,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s/%v: %w", name, policy, err)
-			}
-			row.Seconds[policy] = res.Seconds
-			row.Walks[policy] = res.Counters.DTLBWalks()
+		for j, policy := range policies {
+			c := cells[i*len(policies)+j]
+			row.Seconds[policy] = c.seconds
+			row.Walks[policy] = c.walks
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }
@@ -71,23 +77,17 @@ type NiagaraPoint struct {
 // ExtensionNiagara sweeps CG across the NiagaraT1's 32 hardware threads:
 // interleaved SMT keeps scaling past one thread per core, unlike the Xeon.
 func ExtensionNiagara(class npb.Class) ([]NiagaraPoint, error) {
-	var pts []NiagaraPoint
-	for _, policy := range []core.PagePolicy{core.Policy4K, core.Policy2M} {
-		for _, threads := range []int{1, 2, 4, 8, 16, 32} {
-			k := npb.NewCG()
-			res, err := npb.Run(k, npb.RunConfig{
-				Model:   machine.NiagaraT1(),
-				Threads: threads,
-				Policy:  policy,
-				Class:   class,
-			})
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, NiagaraPoint{Threads: threads, Policy: policy, Seconds: res.Seconds})
+	threadCounts := []int{1, 2, 4, 8, 16, 32}
+	policies := []core.PagePolicy{core.Policy4K, core.Policy2M}
+	return par.Map(len(policies)*len(threadCounts), func(i int) (NiagaraPoint, error) {
+		policy := policies[i/len(threadCounts)]
+		threads := threadCounts[i%len(threadCounts)]
+		res, err := runCell("CG", machine.NiagaraT1(), policy, threads, class)
+		if err != nil {
+			return NiagaraPoint{}, err
 		}
-	}
-	return pts, nil
+		return NiagaraPoint{Threads: threads, Policy: policy, Seconds: res.Seconds}, nil
+	})
 }
 
 // Extensions prints both future-work experiments.

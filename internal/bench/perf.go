@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/npb"
+	"hugeomp/internal/units"
+)
+
+// SimPerf records the simulator's host-side performance: nanoseconds of host
+// time per simulated access for the canonical access patterns, and the wall
+// time of a full Figure 4 sweep. It is emitted as BENCH_simulator.json by
+// `experiments -bench` so the repository carries a perf trajectory across
+// PRs.
+type SimPerf struct {
+	// DenseNs is the bulk fast path on a unit-stride run (8-byte elements).
+	DenseNs float64 `json:"dense_unit_stride_ns_per_access"`
+	// DenseScalarNs is the O(elements) reference path on the same run.
+	DenseScalarNs float64 `json:"dense_unit_stride_scalar_ns_per_access"`
+	// DenseSpeedup is DenseScalarNs / DenseNs.
+	DenseSpeedup float64 `json:"dense_speedup_x"`
+	// StridedNs is a page-hostile 8 KB stride (one line per element, most
+	// accesses missing the TLB).
+	StridedNs float64 `json:"strided_8k_ns_per_access"`
+	// RandomNs is scalar loads at pseudo-random addresses.
+	RandomNs float64 `json:"random_ns_per_access"`
+	// Fig4WallSeconds is the host wall time of one full Fig4Data sweep at
+	// Fig4Class on the parallel harness.
+	Fig4WallSeconds float64 `json:"fig4_wall_seconds"`
+	Fig4Class       string  `json:"fig4_class"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+}
+
+func perfSystem(elems int) (*core.System, *machine.Context, *core.Array, error) {
+	sys, err := core.NewSystem(core.Config{
+		Model:       machine.Opteron270(),
+		Policy:      core.Policy4K,
+		SharedBytes: 64 * units.MB,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	arr, err := sys.NewArray("perf", elems)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rt, err := sys.NewRT(1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, rt.Contexts()[0], arr, nil
+}
+
+// timePattern runs fn (which performs accesses simulated accesses) until it
+// has consumed at least minWall of host time, and returns ns per access.
+func timePattern(accesses int, fn func()) float64 {
+	const minWall = 50 * time.Millisecond
+	total := 0
+	start := time.Now()
+	for time.Since(start) < minWall {
+		fn()
+		total += accesses
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(total)
+}
+
+// MeasureSimPerf measures the simulator's host-side speed on the canonical
+// access patterns and times one Figure 4 sweep at the given class (apps nil
+// = all five kernels).
+func MeasureSimPerf(class npb.Class, apps []string) (SimPerf, error) {
+	p := SimPerf{Fig4Class: class.String(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	// Dense unit stride: the bulk fast path vs the scalar reference. The
+	// working set is L1-resident (32 KB in a 64 KB L1) and warmed before
+	// timing, so the measurement isolates the per-access bookkeeping the
+	// fast path removes; a streaming-sized array would instead be dominated
+	// by the L2-miss machinery, which both paths pay identically per line.
+	{
+		const elems = 1 << 12 // 32 KB
+		_, c, arr, err := perfSystem(elems)
+		if err != nil {
+			return p, err
+		}
+		arr.LoadRange(c, 0, elems) // warm the simulated caches
+		p.DenseNs = timePattern(elems, func() { arr.LoadRange(c, 0, elems) })
+		_, cs, arrS, err := perfSystem(elems)
+		if err != nil {
+			return p, err
+		}
+		cs.AccessRangeScalar(arrS.Addr(0), elems, 8, false)
+		p.DenseScalarNs = timePattern(elems, func() {
+			cs.AccessRangeScalar(arrS.Addr(0), elems, 8, false)
+		})
+		if p.DenseNs > 0 {
+			p.DenseSpeedup = p.DenseScalarNs / p.DenseNs
+		}
+	}
+
+	// Page-hostile stride: 8 KB between elements, TLB-bound.
+	{
+		const elems = 1 << 21 // 16 MB
+		const count = 1 << 11
+		_, c, arr, err := perfSystem(elems)
+		if err != nil {
+			return p, err
+		}
+		p.StridedNs = timePattern(count, func() { arr.LoadStride(c, 0, count, 1024) })
+	}
+
+	// Random scalar loads.
+	{
+		const elems = 1 << 20 // 8 MB
+		_, c, arr, err := perfSystem(elems)
+		if err != nil {
+			return p, err
+		}
+		const count = 1 << 13
+		seed := uint64(1)
+		p.RandomNs = timePattern(count, func() {
+			for i := 0; i < count; i++ {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				c.Load(arr.Addr(int(seed>>17) & (elems - 1)))
+			}
+		})
+	}
+
+	start := time.Now()
+	if _, err := Fig4Data(class, apps); err != nil {
+		return p, err
+	}
+	p.Fig4WallSeconds = time.Since(start).Seconds()
+	return p, nil
+}
+
+// WriteSimPerf emits p as indented JSON (the BENCH_simulator.json format).
+func WriteSimPerf(w io.Writer, p SimPerf) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// FormatSimPerf renders a human-readable summary of p.
+func FormatSimPerf(p SimPerf) string {
+	return fmt.Sprintf(
+		"simulator perf: dense %.1f ns/access (scalar %.1f, speedup %.1fx), strided %.1f, random %.1f; Fig4 class %s sweep %.1fs on %d workers",
+		p.DenseNs, p.DenseScalarNs, p.DenseSpeedup, p.StridedNs, p.RandomNs,
+		p.Fig4Class, p.Fig4WallSeconds, p.GOMAXPROCS)
+}

@@ -68,8 +68,10 @@ type Context struct {
 	lastFetchMask units.Addr
 	fetchCacheOK  bool
 
-	// Stream-prefetcher state: the last line that missed to memory.
-	lastMissLine uint64
+	// Stream-prefetcher state: the last line that missed to memory, valid
+	// only while the miss run is unbroken (an intervening L2 hit ends it).
+	lastMissLine  uint64
+	lastMissValid bool
 
 	// Shootdown mailbox: cross-context TLB invalidations are delivered like
 	// IPIs — enqueued by the sender, drained by the owning goroutine at its
@@ -200,9 +202,11 @@ func (c *Context) cacheAccess(line uint64, write bool) uint64 {
 		return c.costs.L1HitCyc
 	}
 	c.Ctr.L1Misses++
+	// Only the L2/bus lookup touches shared state; counters and prefetcher
+	// state are per-context, so the lock window stays minimal (no defer —
+	// this is the hottest path in the simulator).
 	if c.l2Mu != nil {
 		c.l2Mu.Lock()
-		defer c.l2Mu.Unlock()
 	}
 	var res2 cache.Result
 	interv := false
@@ -211,8 +215,15 @@ func (c *Context) cacheAccess(line uint64, write bool) uint64 {
 	} else {
 		res2 = c.l2.Access(line, write)
 	}
+	if c.l2Mu != nil {
+		c.l2Mu.Unlock()
+	}
 	if res2.Hit {
 		c.Ctr.L2Hits++
+		// The L2 hit interrupts the miss stream: the prefetcher's run
+		// continuation must not survive it, or the next unrelated miss
+		// would be mislabelled as sequential.
+		c.lastMissValid = false
 		return c.costs.L2HitCyc
 	}
 	c.Ctr.L2Misses++
@@ -220,10 +231,11 @@ func (c *Context) cacheAccess(line uint64, write bool) uint64 {
 	// Stream prefetcher: a miss continuing a sequential run is mostly
 	// hidden, except at 4 KB boundaries where the 2007-era prefetchers
 	// stop (64 lines of 64 B per 4 KB).
-	if line == c.lastMissLine+1 && line%64 != 0 {
+	if c.lastMissValid && line == c.lastMissLine+1 && line%64 != 0 {
 		cyc = c.costs.StreamCyc
 	}
 	c.lastMissLine = line
+	c.lastMissValid = true
 	if interv {
 		cyc = c.costs.C2CCyc
 	}
@@ -269,8 +281,14 @@ func (c *Context) Load(va units.Addr) { c.dataAccess(va, false) }
 func (c *Context) Store(va units.Addr) { c.dataAccess(va, true) }
 
 // AccessRange simulates n accesses at base, base+stride, base+2·stride, …
-// with exact TLB/cache behaviour; same-page probes are coalesced, which is
-// the simulator's dense-loop fast path.
+// with exact TLB/cache behaviour. Dense positive-stride runs take the bulk
+// fast path, which computes the identical counter updates in O(pages·lines)
+// instead of O(elements): one translation per page segment and, for strides
+// below the cache-line size, one cache lookup per line run with the
+// remaining same-line accesses bulk-accounted as the L1 hits they are by
+// construction. Non-positive strides and contexts with a fault handler
+// installed (SCASH coherence, transparent huge pages — where a walk can
+// change the mapping mid-run) fall back to the scalar reference path.
 func (c *Context) AccessRange(base units.Addr, n int, stride int64, write bool) {
 	if n <= 0 {
 		return
@@ -281,6 +299,39 @@ func (c *Context) AccessRange(base units.Addr, n int, stride int64, write bool) 
 		c.Ctr.Loads += uint64(n)
 	}
 	c.lockCore()
+	var busy uint64
+	if stride > 0 && c.OnFault == nil {
+		busy = c.rangeBulk(base, n, stride, write)
+	} else {
+		busy = c.rangeScalar(base, n, stride, write)
+	}
+	c.unlockCore()
+	c.Ctr.Busy += busy
+}
+
+// AccessRangeScalar is the O(elements) reference implementation of
+// AccessRange: every element is translated and cache-probed individually.
+// The bulk fast path is property-tested to produce byte-identical counters
+// (TestAccessRangeEquivalenceProperty); this entry point exists for those
+// tests and for the before/after micro-benchmarks.
+func (c *Context) AccessRangeScalar(base units.Addr, n int, stride int64, write bool) {
+	if n <= 0 {
+		return
+	}
+	if write {
+		c.Ctr.Stores += uint64(n)
+	} else {
+		c.Ctr.Loads += uint64(n)
+	}
+	c.lockCore()
+	busy := c.rangeScalar(base, n, stride, write)
+	c.unlockCore()
+	c.Ctr.Busy += busy
+}
+
+// rangeScalar is the per-element loop shared by the scalar entry points.
+// Caller holds the core lock.
+func (c *Context) rangeScalar(base units.Addr, n int, stride int64, write bool) uint64 {
 	var busy uint64
 	for i := 0; i < n; i++ {
 		va := base + units.Addr(int64(i)*stride)
@@ -299,8 +350,115 @@ func (c *Context) AccessRange(base units.Addr, n int, stride int64, write bool) 
 		cyc += c.cacheAccess(uint64(va)>>lineShift, write)
 		busy += cyc
 	}
-	c.unlockCore()
-	c.Ctr.Busy += busy
+	return busy
+}
+
+// rangeBulk is the O(pages·lines) fast path. The range is decomposed into
+// page segments (one translation each — exactly what the per-element
+// micro-TLB check would do, since the write-upgrade re-probe can only fire
+// on a segment's first element) and each segment into cache-line runs: after
+// a run's head access the line is resident, so the remaining same-line
+// accesses are L1 hits by construction and are accounted in bulk. Skipping
+// their individual probes also skips LRU stamp refreshes, but a skip only
+// happens inside a run of accesses to one line, so the relative recency of
+// distinct lines — all that LRU replacement observes — is unchanged.
+// Shootdowns are drained at page-segment granularity (the mailbox contract
+// is "applied at the next access", which this satisfies). Caller holds the
+// core lock; stride must be positive and OnFault nil.
+func (c *Context) rangeBulk(base units.Addr, n int, stride int64, write bool) uint64 {
+	var busy uint64
+	hitCyc := c.costs.ExecCyc + c.costs.L1HitCyc
+	for i := 0; i < n; {
+		if c.shootFlag.Load() {
+			c.drainShootdowns()
+		}
+		va := base + units.Addr(int64(i)*stride)
+		if !c.dataCacheOK || va&^c.lastDataMask != c.lastDataBase || (write && !c.lastDataW) {
+			size, writable, tcyc := c.translateData(va, write)
+			busy += tcyc
+			c.lastDataMask = size.Mask()
+			c.lastDataBase = va &^ c.lastDataMask
+			c.lastDataW = writable
+			c.dataCacheOK = true
+		}
+		// Elements landing on this page: ceil((pageEnd−va)/stride).
+		pageEnd := int64(c.lastDataBase) + int64(c.lastDataMask) + 1
+		segN := int((pageEnd - int64(va) + stride - 1) / stride)
+		if segN > n-i {
+			segN = n - i
+		}
+		if stride >= units.CacheLineSize {
+			// At most one element per line: the translation is amortised
+			// but every element still probes the cache hierarchy.
+			for j := 0; j < segN; j++ {
+				eva := va + units.Addr(int64(j)*stride)
+				busy += c.costs.ExecCyc + c.cacheAccess(uint64(eva)>>lineShift, write)
+			}
+		} else {
+			// When the stride divides the line size, every line-aligned run
+			// holds exactly lineSize/stride elements, so the run-length
+			// division is needed only for partial (unaligned) runs.
+			kFull := 0
+			if units.CacheLineSize%stride == 0 {
+				kFull = int(units.CacheLineSize / stride)
+			}
+			for j := 0; j < segN; {
+				eva := va + units.Addr(int64(j)*stride)
+				line := uint64(eva) >> lineShift
+				k := kFull
+				if k == 0 || int64(eva)&(units.CacheLineSize-1) != 0 {
+					lineEnd := int64(line+1) << lineShift
+					k = int((lineEnd - int64(eva) + stride - 1) / stride)
+				}
+				if k > segN-j {
+					k = segN - j
+				}
+				busy += c.costs.ExecCyc + c.cacheAccess(line, write)
+				if k > 1 {
+					c.Ctr.L1Hits += uint64(k - 1)
+					busy += uint64(k-1) * hitCyc
+				}
+				j += k
+			}
+		}
+		i += segN
+	}
+	return busy
+}
+
+// translateFetch resolves va through the ITLB stack, refreshing the fetch
+// micro-TLB, and returns the cycle cost beyond a first-level hit. Caller
+// holds the core lock.
+func (c *Context) translateFetch(va units.Addr) uint64 {
+	var cyc uint64
+	order := [2]units.PageSize{c.fetchHint, c.fetchHint ^ 1}
+	resolved := false
+	var size units.PageSize
+	for _, s := range order {
+		vpn := s.VPN(va)
+		if o := c.itlb.Access(vpn, s, false); o != tlb.Miss {
+			if o == tlb.HitL2 {
+				cyc += c.costs.TLBL2Cyc
+			}
+			size, resolved = s, true
+			break
+		}
+	}
+	if !resolved {
+		wr := c.walk(va, false)
+		size = wr.Entry.Size
+		c.Ctr.ITLBL1Miss++
+		c.Ctr.ITLBWalks++
+		w := uint64(wr.MemRefs) * c.costs.WalkRefCyc
+		c.Ctr.WalkCyc += w
+		cyc += w
+		c.itlb.Fill(size.VPN(va), size, false)
+	}
+	c.fetchHint = size
+	c.lastFetchMask = size.Mask()
+	c.lastFetchBase = va &^ c.lastFetchMask
+	c.fetchCacheOK = true
+	return cyc
 }
 
 // Fetch simulates one instruction-fetch block at code address va through the
@@ -313,36 +471,58 @@ func (c *Context) Fetch(va units.Addr) {
 		c.drainShootdowns()
 	}
 	if !c.fetchCacheOK || va&^c.lastFetchMask != c.lastFetchBase {
-		order := [2]units.PageSize{c.fetchHint, c.fetchHint ^ 1}
-		resolved := false
-		var size units.PageSize
-		for _, s := range order {
-			vpn := s.VPN(va)
-			if o := c.itlb.Access(vpn, s, false); o != tlb.Miss {
-				if o == tlb.HitL2 {
-					cyc += c.costs.TLBL2Cyc
-				}
-				size, resolved = s, true
-				break
-			}
-		}
-		if !resolved {
-			wr := c.walk(va, false)
-			size = wr.Entry.Size
-			c.Ctr.ITLBL1Miss++
-			c.Ctr.ITLBWalks++
-			w := uint64(wr.MemRefs) * c.costs.WalkRefCyc
-			c.Ctr.WalkCyc += w
-			cyc += w
-			c.itlb.Fill(size.VPN(va), size, false)
-		}
-		c.fetchHint = size
-		c.lastFetchMask = size.Mask()
-		c.lastFetchBase = va &^ c.lastFetchMask
-		c.fetchCacheOK = true
+		cyc += c.translateFetch(va)
 	}
 	c.unlockCore()
 	c.Ctr.Busy += cyc
+}
+
+// FetchRange simulates n instruction-fetch blocks at base, base+stride, …
+// (a parallel region's entry touching its code pages), amortising the ITLB
+// probe over each page the way rangeBulk does for data: a page segment's
+// blocks after the first are fetch micro-TLB hits by construction, so they
+// are bulk-accounted at FetchCyc each. Counter-equivalent to calling Fetch
+// per block (TestFetchRangeEquivalenceProperty); non-positive strides fall
+// back to the per-block loop.
+func (c *Context) FetchRange(base units.Addr, n int, stride int64) {
+	if n <= 0 {
+		return
+	}
+	c.Ctr.Fetches += uint64(n)
+	c.lockCore()
+	var busy uint64
+	if stride <= 0 {
+		for i := 0; i < n; i++ {
+			va := base + units.Addr(int64(i)*stride)
+			cyc := c.costs.FetchCyc
+			if c.shootFlag.Load() {
+				c.drainShootdowns()
+			}
+			if !c.fetchCacheOK || va&^c.lastFetchMask != c.lastFetchBase {
+				cyc += c.translateFetch(va)
+			}
+			busy += cyc
+		}
+	} else {
+		for i := 0; i < n; {
+			if c.shootFlag.Load() {
+				c.drainShootdowns()
+			}
+			va := base + units.Addr(int64(i)*stride)
+			if !c.fetchCacheOK || va&^c.lastFetchMask != c.lastFetchBase {
+				busy += c.translateFetch(va)
+			}
+			pageEnd := int64(c.lastFetchBase) + int64(c.lastFetchMask) + 1
+			segN := int((pageEnd - int64(va) + stride - 1) / stride)
+			if segN > n-i {
+				segN = n - i
+			}
+			busy += uint64(segN) * c.costs.FetchCyc
+			i += segN
+		}
+	}
+	c.unlockCore()
+	c.Ctr.Busy += busy
 }
 
 // Compute charges cyc cycles of pure computation (ALU/FPU work between

@@ -1,0 +1,57 @@
+package machine
+
+import (
+	"testing"
+
+	"hugeomp/internal/units"
+)
+
+// The before/after pair for the bulk fast path: BenchmarkAccessRangeDense
+// exercises rangeBulk, BenchmarkAccessRangeDenseScalar the O(elements)
+// reference. The working set is L1-resident so the comparison isolates the
+// per-access bookkeeping rather than the shared L2-miss machinery.
+const benchElems = 1 << 12 // 32 KB of 8-byte elements
+
+func benchCtx(b *testing.B) *Context {
+	c := equivConfigs()[0].mk(b)
+	c.AccessRange(0, benchElems, 8, false) // warm caches and TLBs
+	c.Ctr.Loads = 0
+	return c
+}
+
+func BenchmarkAccessRangeDense(b *testing.B) {
+	c := benchCtx(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchElems {
+		c.AccessRange(0, benchElems, 8, false)
+	}
+}
+
+func BenchmarkAccessRangeDenseScalar(b *testing.B) {
+	c := benchCtx(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchElems {
+		c.AccessRangeScalar(0, benchElems, 8, false)
+	}
+}
+
+func BenchmarkAccessRangeStrided(b *testing.B) {
+	c := benchCtx(b)
+	const count = 1 << 9 // 512 accesses, 8KB apart: one line per element
+	b.ResetTimer()
+	for i := 0; i < b.N; i += count {
+		c.AccessRange(0, count, 8192, false)
+	}
+}
+
+func BenchmarkFetchRange(b *testing.B) {
+	c := equivConfigs()[0].mk(b)
+	const blocks = 1 << 9 // one fetch per 4KB block over 2MB
+	c.FetchRange(0, blocks, units.PageSize4K)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += blocks {
+		c.FetchRange(0, blocks, units.PageSize4K)
+	}
+}

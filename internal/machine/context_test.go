@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -9,40 +10,146 @@ import (
 	"hugeomp/internal/units"
 )
 
-// TestAccessRangeEquivalenceProperty: for arbitrary (start, count, stride)
-// the bulk path must produce exactly the same counters as elementwise loads.
-func TestAccessRangeEquivalenceProperty(t *testing.T) {
-	mk := func() *Context {
-		pt := pagetable.New()
-		mapRange(t, pt, 0, 4*units.MB, units.Size4K)
-		m := New(Opteron270())
-		m.AttachProcess(pt)
-		ctxs, err := m.Configure(1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return ctxs[0]
+// equivCfg is one machine configuration of the equivalence property: the
+// bulk AccessRange path must match the scalar paths on every page-size
+// policy and SMT-sharing mode, not just the default Opteron.
+type equivCfg struct {
+	name    string
+	model   Model
+	threads int
+	sharing SharingMode
+	ps      units.PageSize
+}
+
+func equivConfigs() []equivCfg {
+	return []equivCfg{
+		{"opteron/1thr/partition/4K", Opteron270(), 1, SharePartition, units.Size4K},
+		{"opteron/1thr/partition/2M", Opteron270(), 1, SharePartition, units.Size2M},
+		{"xeon/8thr/partition/4K", XeonHT(), 8, SharePartition, units.Size4K},
+		{"xeon/8thr/sharetrue/2M", XeonHT(), 8, ShareTrue, units.Size2M},
 	}
-	f := func(startRaw uint16, countRaw uint8, strideRaw uint16, write bool) bool {
-		count := int(countRaw)%200 + 1
-		stride := int64(strideRaw)%3000 + 1
+}
+
+func (cfg equivCfg) mk(t testing.TB) *Context {
+	pt := pagetable.New()
+	mapRange(t, pt, 0, 4*units.MB, cfg.ps)
+	m := New(cfg.model)
+	m.Sharing = cfg.sharing
+	m.AttachProcess(pt)
+	ctxs, err := m.Configure(cfg.threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctxs[0]
+	c.SetPageHint(cfg.ps)
+	return c
+}
+
+// TestAccessRangeEquivalenceProperty: for arbitrary (start, count, stride,
+// write) on every configuration, the bulk path, elementwise Load/Store, and
+// the AccessRangeScalar reference must produce byte-identical counters.
+func TestAccessRangeEquivalenceProperty(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			f := func(startRaw uint16, countRaw uint8, strideRaw uint16, write bool) bool {
+				count := int(countRaw)%200 + 1
+				// Exercise both bulk regimes: sub-line strides (coalesced
+				// line runs) and line-or-larger strides (per-element probes).
+				var stride int64
+				if strideRaw%2 == 0 {
+					stride = int64(strideRaw/2)%63 + 1
+				} else {
+					stride = int64(strideRaw)%3000 + 64
+				}
+				start := units.Addr(startRaw)
+				// Keep within the mapped range.
+				if int64(start)+int64(count)*stride >= 4*units.MB {
+					return true
+				}
+				a, b, s := cfg.mk(t), cfg.mk(t), cfg.mk(t)
+				a.AccessRange(start, count, stride, write)
+				for i := 0; i < count; i++ {
+					if write {
+						b.Store(start + units.Addr(int64(i)*stride))
+					} else {
+						b.Load(start + units.Addr(int64(i)*stride))
+					}
+				}
+				s.AccessRangeScalar(start, count, stride, write)
+				if a.Ctr != b.Ctr {
+					t.Logf("bulk != elementwise:\nbulk:  %+v\nelem:  %+v", a.Ctr, b.Ctr)
+					return false
+				}
+				if a.Ctr != s.Ctr {
+					t.Logf("bulk != scalar reference:\nbulk:   %+v\nscalar: %+v", a.Ctr, s.Ctr)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAccessRangeNegativeStrideEquivalence pins the scalar fallback: a
+// negative stride cannot take the bulk path but must still match elementwise
+// accesses exactly.
+func TestAccessRangeNegativeStrideEquivalence(t *testing.T) {
+	cfg := equivConfigs()[0]
+	a, b := cfg.mk(t), cfg.mk(t)
+	const count, stride = 300, -136
+	start := units.Addr(2 * units.MB)
+	a.AccessRange(start, count, stride, true)
+	for i := 0; i < count; i++ {
+		b.Store(start + units.Addr(int64(i)*stride))
+	}
+	if a.Ctr != b.Ctr {
+		t.Errorf("negative-stride counters diverge:\nrange: %+v\nelem:  %+v", a.Ctr, b.Ctr)
+	}
+}
+
+// TestAccessRangeWriteUpgradeEquivalence covers the write-upgrade edge: a
+// read range primes the micro-TLB with a read-only-checked entry, and the
+// following write range over the same pages must re-probe for writability on
+// each segment head exactly as the scalar path does per element.
+func TestAccessRangeWriteUpgradeEquivalence(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		t.Run(cfg.name, func(t *testing.T) {
+			a, b := cfg.mk(t), cfg.mk(t)
+			const count, stride = 4000, 24
+			a.AccessRange(0, count, stride, false)
+			a.AccessRange(0, count, stride, true)
+			b.AccessRangeScalar(0, count, stride, false)
+			b.AccessRangeScalar(0, count, stride, true)
+			if a.Ctr != b.Ctr {
+				t.Errorf("write-after-read counters diverge:\nbulk:   %+v\nscalar: %+v", a.Ctr, b.Ctr)
+			}
+		})
+	}
+}
+
+// TestFetchRangeEquivalenceProperty: FetchRange must match elementwise Fetch
+// for arbitrary positive-stride runs.
+func TestFetchRangeEquivalenceProperty(t *testing.T) {
+	cfg := equivConfigs()[0]
+	f := func(startRaw uint16, countRaw uint8, strideRaw uint16) bool {
+		count := int(countRaw)%100 + 1
+		stride := int64(strideRaw)%(2*units.PageSize4K) + 1
 		start := units.Addr(startRaw)
-		// Keep within the mapped range.
 		if int64(start)+int64(count)*stride >= 4*units.MB {
 			return true
 		}
-		a, b := mk(), mk()
-		a.AccessRange(start, count, stride, write)
+		a, b := cfg.mk(t), cfg.mk(t)
+		a.FetchRange(start, count, stride)
 		for i := 0; i < count; i++ {
-			if write {
-				b.Store(start + units.Addr(int64(i)*stride))
-			} else {
-				b.Load(start + units.Addr(int64(i)*stride))
-			}
+			b.Fetch(start + units.Addr(int64(i)*stride))
 		}
 		return a.Ctr == b.Ctr
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
 }
@@ -237,5 +344,140 @@ func TestShootdownMailboxIsAsynchronous(t *testing.T) {
 	victim.Load(24)
 	if victim.Ctr.DTLBWalks() != walks+2 {
 		t.Errorf("walks after flush = %d, want %d", victim.Ctr.DTLBWalks(), walks+2)
+	}
+}
+
+// TestPrefetcherRunBrokenByL2Hit is the regression test for the stale
+// lastMissLine bug: an L1-miss/L2-hit used to leave the previous miss run's
+// tail line in place, so a later miss at tail+1 was wrongly charged the
+// prefetched StreamCyc cost. The scenario builds three lines in one L1 set
+// (Opteron L1 is 64KB 2-way: lines 512 apart conflict), evicts the first,
+// re-reads it (L2 hit — breaks any run), then misses at lastMissLine+1.
+func TestPrefetcherRunBrokenByL2Hit(t *testing.T) {
+	pt := pagetable.New()
+	mapRange(t, pt, 0, units.MB, units.Size4K)
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+	ctxs, _ := m.Configure(1)
+	c := ctxs[0]
+	costs := DefaultCosts()
+
+	line := func(l int64) units.Addr { return units.Addr(l * units.CacheLineSize) }
+	// Three conflicting lines fill the 2-way set and evict line 100 from L1;
+	// all three stay resident in the 16-way L2. None are sequential, so each
+	// costs the full MemCyc. lastMissLine ends at 1124.
+	c.Load(line(100))
+	c.Load(line(612))
+	c.Load(line(1124))
+	// L1 miss, L2 hit: no memory access, and the miss run state must clear.
+	c.Load(line(100))
+	if c.Ctr.L2Hits != 1 {
+		t.Fatalf("L2Hits = %d, want 1 (line 100 should be L2-resident)", c.Ctr.L2Hits)
+	}
+	// Line 1125 == lastMissLine+1 and 1125%64 != 0: with the stale-run bug
+	// this was charged StreamCyc; it must cost the full MemCyc.
+	c.Load(line(1125))
+	// Line 1126 genuinely continues a run and is prefetched.
+	c.Load(line(1126))
+
+	wantMem := 4*costs.MemCyc + costs.StreamCyc
+	if c.Ctr.MemCyc != wantMem {
+		t.Errorf("MemCyc = %d, want %d (4 full misses + 1 prefetched)", c.Ctr.MemCyc, wantMem)
+	}
+	if c.Ctr.L2Misses != 5 {
+		t.Errorf("L2Misses = %d, want 5", c.Ctr.L2Misses)
+	}
+}
+
+// TestPrefetcherFirstMissAtLineOne pins the latent zero-value bug the
+// lastMissValid flag also fixes: a fresh context's very first miss at line 1
+// used to look like a continuation of a run ending at line 0.
+func TestPrefetcherFirstMissAtLineOne(t *testing.T) {
+	pt := pagetable.New()
+	mapRange(t, pt, 0, units.MB, units.Size4K)
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+	ctxs, _ := m.Configure(1)
+	c := ctxs[0]
+	c.Load(units.Addr(units.CacheLineSize)) // line 1, first access ever
+	if want := DefaultCosts().MemCyc; c.Ctr.MemCyc != want {
+		t.Errorf("first miss at line 1 cost %d, want full %d", c.Ctr.MemCyc, want)
+	}
+}
+
+// TestShootdownDuringBulkRange: shootdowns queued from another goroutine
+// land mid-AccessRange (the bulk path checks the mailbox at page-segment
+// granularity) and the resulting counters still match the scalar path given
+// the same delivery point.
+func TestShootdownDuringBulkRange(t *testing.T) {
+	cfg := equivConfigs()[0]
+	const count = 6000 // spans ~12 pages at stride 8
+	run := func(bulk bool) *Context {
+		c := cfg.mk(t)
+		// Prime the TLBs over the range so the shootdown has entries to kill.
+		c.AccessRange(0, count, 8, false)
+		// Deliver an invalidation and a full flush from another goroutine;
+		// the join guarantees they are pending when the range starts, so
+		// the bulk path must drain them at its first segment check.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			c.InvalidatePage(units.Addr(units.PageSize4K), units.Size4K)
+			c.FlushTLBs()
+		}()
+		<-done
+		if bulk {
+			c.AccessRange(0, count, 8, false)
+		} else {
+			c.AccessRangeScalar(0, count, 8, false)
+		}
+		return c
+	}
+	clean := cfg.mk(t)
+	clean.AccessRange(0, count, 8, false)
+	clean.AccessRange(0, count, 8, false)
+
+	b, s := run(true), run(false)
+	if b.shootFlag.Load() {
+		t.Error("bulk path finished with shootdowns still pending")
+	}
+	if b.Ctr != s.Ctr {
+		t.Errorf("counters diverge after mid-range shootdown:\nbulk:   %+v\nscalar: %+v", b.Ctr, s.Ctr)
+	}
+	if b.Ctr.DTLBWalks() <= clean.Ctr.DTLBWalks() {
+		t.Errorf("flush caused no extra walks: got %d, clean run %d",
+			b.Ctr.DTLBWalks(), clean.Ctr.DTLBWalks())
+	}
+}
+
+// TestShootdownConcurrentWithBulkRange is the -race stress variant: another
+// goroutine hammers the mailbox while a bulk range is in flight. Counter
+// values are timing-dependent, so only invariants are asserted: the access
+// count is exact and the mailbox is drained by the next access.
+func TestShootdownConcurrentWithBulkRange(t *testing.T) {
+	cfg := equivConfigs()[0]
+	c := cfg.mk(t)
+	const count = 200000
+	const shots = 2000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < shots; i++ {
+			if i%2 == 0 {
+				c.InvalidatePage(units.Addr(int64(i%16)*units.PageSize4K), units.Size4K)
+			} else {
+				c.FlushTLBs()
+			}
+			runtime.Gosched() // interleave with the bulk run in flight
+		}
+	}()
+	c.AccessRange(0, count, 8, false)
+	<-done
+	if c.Ctr.Loads != count {
+		t.Errorf("Loads = %d, want %d", c.Ctr.Loads, count)
+	}
+	c.Load(0) // any access drains whatever arrived after the range finished
+	if c.shootFlag.Load() {
+		t.Error("mailbox still flagged after a post-range access")
 	}
 }

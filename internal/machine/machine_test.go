@@ -8,7 +8,7 @@ import (
 )
 
 // mapRange maps [base, base+size) with pages of the given class.
-func mapRange(t *testing.T, pt *pagetable.Table, base units.Addr, size int64, ps units.PageSize) {
+func mapRange(t testing.TB, pt *pagetable.Table, base units.Addr, size int64, ps units.PageSize) {
 	t.Helper()
 	pfn := uint64(0)
 	step := ps.Bytes()

@@ -1,0 +1,60 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	out, err := Map(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapReturnsLowestError(t *testing.T) {
+	// Both 30 and 70 fail; the reported error must be index 30's,
+	// regardless of completion order.
+	_, err := Map(100, func(i int) (int, error) {
+		if i == 30 || i == 70 {
+			return 0, fmt.Errorf("cell %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "cell 30 failed" {
+		t.Errorf("err = %v, want cell 30's", err)
+	}
+}
+
+func TestMapRunsEveryCellOnce(t *testing.T) {
+	var calls [257]atomic.Int32
+	_, err := Map(len(calls), func(i int) (struct{}, error) {
+		calls[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if got := calls[i].Load(); got != 1 {
+			t.Errorf("cell %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestMapEmptyAndError(t *testing.T) {
+	out, err := Map(0, func(int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty map: out=%v err=%v", out, err)
+	}
+}
