@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench simbench experiments examples fuzz clean
+.PHONY: all build test check race bench microbench simbench experiments examples fuzz clean
 
 all: build test check
 
@@ -29,7 +29,12 @@ race:
 simbench:
 	$(GO) run ./cmd/experiments -bench
 
+# Perf regression guard: re-measure the dense and gather fast paths and fail
+# if either is >2x slower than the committed BENCH_simulator.json.
 bench:
+	$(GO) run ./cmd/experiments -bench-baseline
+
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Full class-A reproduction of every table and figure (minutes).
@@ -47,6 +52,7 @@ examples:
 fuzz:
 	$(GO) test -fuzz FuzzHierarchy -fuzztime 30s ./internal/tlb/
 	$(GO) test -fuzz FuzzAllocator -fuzztime 30s ./internal/scash/
+	$(GO) test -fuzz FuzzGatherRange -fuzztime 30s ./internal/machine/
 
 clean:
 	$(GO) clean ./...

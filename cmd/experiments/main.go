@@ -26,11 +26,23 @@ func main() {
 	plot := flag.Bool("plot", false, "render fig4/fig5 as ASCII bar charts instead of tables")
 	doBench := flag.Bool("bench", false, "measure simulator host-side performance and write -bench-out")
 	benchOut := flag.String("bench-out", "BENCH_simulator.json", "output path for -bench")
+	baseline := flag.Bool("bench-baseline", false, "re-measure the dense and gather fast paths and fail if either regressed >2x vs -bench-out")
 	flag.Parse()
 
 	cl, err := npb.ParseClass(*class)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *baseline {
+		report, err := bench.RegressionCheck(*benchOut)
+		if report != "" {
+			log.Print(report)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Print("fast paths within 2x of committed baseline")
+		return
 	}
 	if *doBench {
 		perf, err := bench.MeasureSimPerf(cl, nil)

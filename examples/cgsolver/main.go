@@ -73,11 +73,11 @@ func (s *system) matvec(rt *hugeomp.RT) {
 			s.a.LoadRange(c, lo*nzRow, hi*nzRow)
 			s.col.LoadRange(c, lo*nzRow, hi*nzRow)
 			for i := lo; i < hi; i++ {
+				// One bulk indexed access per row (the random gather).
+				s.p.Gather(c, s.col.Data[i*nzRow:(i+1)*nzRow])
 				sum := 0.0
 				for e := i * nzRow; e < (i+1)*nzRow; e++ {
-					j := int(s.col.Data[e])
-					c.Load(s.p.Addr(j)) // random gather
-					sum += s.a.Data[e] * s.p.Data[j]
+					sum += s.a.Data[e] * s.p.Data[int(s.col.Data[e])]
 				}
 				s.q.Data[i] = sum
 			}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -28,13 +29,37 @@ type SimPerf struct {
 	// StridedNs is a page-hostile 8 KB stride (one line per element, most
 	// accesses missing the TLB).
 	StridedNs float64 `json:"strided_8k_ns_per_access"`
-	// RandomNs is scalar loads at pseudo-random addresses.
+	// RandomNs is scalar loads at pseudo-random addresses (the pre-gather
+	// cost of an indexed access).
 	RandomNs float64 `json:"random_ns_per_access"`
+	// GatherNs is the bulk indexed path (GatherRange) on a reused
+	// pseudo-random index list over a TLB-hostile vector.
+	GatherNs float64 `json:"gather_ns_per_access"`
+	// GatherScalarNs is the per-element reference on the same list.
+	GatherScalarNs float64 `json:"gather_scalar_ns_per_access"`
+	// GatherSpeedup is GatherScalarNs / GatherNs.
+	GatherSpeedup float64 `json:"gather_speedup_x"`
 	// Fig4WallSeconds is the host wall time of one full Fig4Data sweep at
 	// Fig4Class on the parallel harness.
 	Fig4WallSeconds float64 `json:"fig4_wall_seconds"`
 	Fig4Class       string  `json:"fig4_class"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
+	// Multicore is the multi-core scaling section: the same CG class-W
+	// region simulation (4 simulated threads, 4 KB pages) timed at
+	// GOMAXPROCS 1, 2 and 4 (capped at the host's core count),
+	// demonstrating that N simulated threads use N host cores now that
+	// translation and coherence no longer serialise on global locks. A
+	// single-core host emits only the GOMAXPROCS=1 point.
+	Multicore []MulticorePoint `json:"multicore_cg"`
+}
+
+// MulticorePoint is one GOMAXPROCS setting of the multi-core scaling
+// section.
+type MulticorePoint struct {
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	WallSeconds float64 `json:"cg_wall_seconds"`
+	// SpeedupX is relative to the GOMAXPROCS=1 point.
+	SpeedupX float64 `json:"speedup_x"`
 }
 
 func perfSystem(elems int) (*core.System, *machine.Context, *core.Array, error) {
@@ -70,36 +95,130 @@ func timePattern(accesses int, fn func()) float64 {
 	return float64(time.Since(start).Nanoseconds()) / float64(total)
 }
 
+// measureDense times the bulk unit-stride fast path and its scalar
+// reference. The working set is L1-resident (32 KB in a 64 KB L1) and warmed
+// before timing, so the measurement isolates the per-access bookkeeping the
+// fast path removes; a streaming-sized array would instead be dominated by
+// the L2-miss machinery, which both paths pay identically per line.
+func measureDense() (dense, scalar float64, err error) {
+	const elems = 1 << 12 // 32 KB
+	_, c, arr, err := perfSystem(elems)
+	if err != nil {
+		return 0, 0, err
+	}
+	arr.LoadRange(c, 0, elems) // warm the simulated caches
+	dense = timePattern(elems, func() { arr.LoadRange(c, 0, elems) })
+	_, cs, arrS, err := perfSystem(elems)
+	if err != nil {
+		return 0, 0, err
+	}
+	cs.AccessRangeScalar(arrS.Addr(0), elems, 8, false)
+	scalar = timePattern(elems, func() {
+		cs.AccessRangeScalar(arrS.Addr(0), elems, 8, false)
+	})
+	return dense, scalar, nil
+}
+
+// gatherIndexList builds the reused pseudo-random index list of the gather
+// measurements: count indices over an elems-element vector — far beyond the
+// 4 KB DTLB reach, so the pattern is translation-bound like CG's matvec.
+func gatherIndexList(elems, count int) []int64 {
+	idx := make([]int64, count)
+	seed := uint64(1)
+	for i := range idx {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		idx[i] = int64(int(seed>>17) & (elems - 1))
+	}
+	return idx
+}
+
+// measureGather times the bulk indexed path and its sorted scalar reference
+// on a reused pseudo-random index list over a 1 MB vector — exactly the
+// simulated L2 capacity, the stress end of CG's gather (class W's vector is
+// ~56 KB and class A's ~112 KB, both cache-resident), with 256 pages of DTLB
+// footprint against a 32-entry L1 DTLB so the pattern stays
+// translation-bound.
+func measureGather() (gather, scalar float64, err error) {
+	const elems = 1 << 17 // 1 MB
+	const count = 1 << 17
+	idx := gatherIndexList(elems, count)
+	_, c, arr, err := perfSystem(elems)
+	if err != nil {
+		return 0, 0, err
+	}
+	arr.Gather(c, idx) // warm the simulated caches and translation cache
+	gather = timePattern(count, func() { arr.Gather(c, idx) })
+	_, cs, arrS, err := perfSystem(elems)
+	if err != nil {
+		return 0, 0, err
+	}
+	cs.GatherRangeScalar(arrS.Base, 8, idx)
+	scalar = timePattern(count, func() { cs.GatherRangeScalar(arrS.Base, 8, idx) })
+	return gather, scalar, nil
+}
+
+// measureMulticoreCG times the CG class-W region simulation (4 simulated
+// threads, 4 KB pages — the paper's headline configuration) at GOMAXPROCS
+// 1, 2 and 4, capped at the host's core count: on a single-core host
+// time-slicing four goroutines over one core can only add overhead, so
+// points the host cannot physically parallelise are not emitted rather
+// than recorded as a fake scaling failure. Setup (matrix generation)
+// happens outside the timed region; only the simulated parallel regions —
+// where the team runs as real goroutines — are measured.
+func measureMulticoreCG() ([]MulticorePoint, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var pts []MulticorePoint
+	for _, procs := range []int{1, 2, 4} {
+		if procs > 1 && procs > runtime.NumCPU() {
+			continue
+		}
+		runtime.GOMAXPROCS(procs)
+		k := npb.NewCG()
+		shared := int64(64 * units.MB)
+		sys, err := core.NewSystem(core.Config{
+			Model:       machine.Opteron270(),
+			Policy:      core.Policy4K,
+			SharedBytes: shared,
+			PhysBytes:   4 * shared,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := k.Setup(sys, npb.ClassW); err != nil {
+			return nil, err
+		}
+		sys.Seal()
+		rt, err := sys.NewRT(4)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := k.Run(rt, k.DefaultIterations(npb.ClassW)); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+		pt := MulticorePoint{GOMAXPROCS: procs, WallSeconds: wall, SpeedupX: 1}
+		if len(pts) > 0 && wall > 0 {
+			pt.SpeedupX = pts[0].WallSeconds / wall
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
 // MeasureSimPerf measures the simulator's host-side speed on the canonical
 // access patterns and times one Figure 4 sweep at the given class (apps nil
 // = all five kernels).
 func MeasureSimPerf(class npb.Class, apps []string) (SimPerf, error) {
 	p := SimPerf{Fig4Class: class.String(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
-	// Dense unit stride: the bulk fast path vs the scalar reference. The
-	// working set is L1-resident (32 KB in a 64 KB L1) and warmed before
-	// timing, so the measurement isolates the per-access bookkeeping the
-	// fast path removes; a streaming-sized array would instead be dominated
-	// by the L2-miss machinery, which both paths pay identically per line.
-	{
-		const elems = 1 << 12 // 32 KB
-		_, c, arr, err := perfSystem(elems)
-		if err != nil {
-			return p, err
-		}
-		arr.LoadRange(c, 0, elems) // warm the simulated caches
-		p.DenseNs = timePattern(elems, func() { arr.LoadRange(c, 0, elems) })
-		_, cs, arrS, err := perfSystem(elems)
-		if err != nil {
-			return p, err
-		}
-		cs.AccessRangeScalar(arrS.Addr(0), elems, 8, false)
-		p.DenseScalarNs = timePattern(elems, func() {
-			cs.AccessRangeScalar(arrS.Addr(0), elems, 8, false)
-		})
-		if p.DenseNs > 0 {
-			p.DenseSpeedup = p.DenseScalarNs / p.DenseNs
-		}
+	var err error
+	if p.DenseNs, p.DenseScalarNs, err = measureDense(); err != nil {
+		return p, err
+	}
+	if p.DenseNs > 0 {
+		p.DenseSpeedup = p.DenseScalarNs / p.DenseNs
 	}
 
 	// Page-hostile stride: 8 KB between elements, TLB-bound.
@@ -130,12 +249,62 @@ func MeasureSimPerf(class npb.Class, apps []string) (SimPerf, error) {
 		})
 	}
 
+	if p.GatherNs, p.GatherScalarNs, err = measureGather(); err != nil {
+		return p, err
+	}
+	if p.GatherNs > 0 {
+		p.GatherSpeedup = p.GatherScalarNs / p.GatherNs
+	}
+
+	if p.Multicore, err = measureMulticoreCG(); err != nil {
+		return p, err
+	}
+
 	start := time.Now()
 	if _, err := Fig4Data(class, apps); err != nil {
 		return p, err
 	}
 	p.Fig4WallSeconds = time.Since(start).Seconds()
 	return p, nil
+}
+
+// ReadSimPerf loads a committed BENCH_simulator.json.
+func ReadSimPerf(path string) (SimPerf, error) {
+	var p SimPerf
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	err = json.Unmarshal(raw, &p)
+	return p, err
+}
+
+// RegressionCheck re-measures the dense and gather fast paths and compares
+// them against the committed baseline at path, returning an error if either
+// regressed more than 2x. Used by `make bench` as a cheap CI guard (the full
+// Fig4 sweep and multicore section are skipped).
+func RegressionCheck(path string) (string, error) {
+	base, err := ReadSimPerf(path)
+	if err != nil {
+		return "", fmt.Errorf("bench: baseline: %w", err)
+	}
+	dense, _, err := measureDense()
+	if err != nil {
+		return "", err
+	}
+	gather, _, err := measureGather()
+	if err != nil {
+		return "", err
+	}
+	report := fmt.Sprintf("dense %.2f ns/access (baseline %.2f), gather %.2f ns/access (baseline %.2f)",
+		dense, base.DenseNs, gather, base.GatherNs)
+	if base.DenseNs > 0 && dense > 2*base.DenseNs {
+		return report, fmt.Errorf("bench: dense fast path regressed >2x: %.2f ns/access vs baseline %.2f", dense, base.DenseNs)
+	}
+	if base.GatherNs > 0 && gather > 2*base.GatherNs {
+		return report, fmt.Errorf("bench: gather fast path regressed >2x: %.2f ns/access vs baseline %.2f", gather, base.GatherNs)
+	}
+	return report, nil
 }
 
 // WriteSimPerf emits p as indented JSON (the BENCH_simulator.json format).
@@ -147,8 +316,13 @@ func WriteSimPerf(w io.Writer, p SimPerf) error {
 
 // FormatSimPerf renders a human-readable summary of p.
 func FormatSimPerf(p SimPerf) string {
-	return fmt.Sprintf(
-		"simulator perf: dense %.1f ns/access (scalar %.1f, speedup %.1fx), strided %.1f, random %.1f; Fig4 class %s sweep %.1fs on %d workers",
+	s := fmt.Sprintf(
+		"simulator perf: dense %.1f ns/access (scalar %.1f, speedup %.1fx), strided %.1f, random %.1f, gather %.1f (scalar %.1f, speedup %.1fx); Fig4 class %s sweep %.1fs on %d workers",
 		p.DenseNs, p.DenseScalarNs, p.DenseSpeedup, p.StridedNs, p.RandomNs,
+		p.GatherNs, p.GatherScalarNs, p.GatherSpeedup,
 		p.Fig4Class, p.Fig4WallSeconds, p.GOMAXPROCS)
+	for _, m := range p.Multicore {
+		s += fmt.Sprintf("; CG wall @%d procs %.2fs (%.2fx)", m.GOMAXPROCS, m.WallSeconds, m.SpeedupX)
+	}
+	return s
 }

@@ -2,6 +2,27 @@ package cache
 
 import "sync"
 
+// busShards is the number of independently locked directory shards. Must be
+// a power of two. 64 shards make same-line conflicts the only contended case
+// even with every simulated context missing its L2 at once.
+const busShards = 64
+
+// busShard is one directory shard: a lock serialising every transaction on
+// the lines that hash to it, plus that shard's slice of the transaction
+// counters. Padded to a host cache line so neighbouring shards don't false-
+// share.
+type busShard struct {
+	mu sync.Mutex
+
+	readMisses    uint64
+	writeMisses   uint64
+	invalidations uint64
+	interventions uint64
+	writebacks    uint64
+
+	_ [16]byte
+}
+
 // Bus is a snooping coherence interconnect connecting the private last-level
 // caches of the simulated cores (the Opteron keeps its per-core L2s coherent
 // by snooping, as the paper describes). It implements an invalidation-based
@@ -13,27 +34,31 @@ import "sync"
 //   - a write (hit-on-Shared or miss) invalidates every peer copy and the
 //     requester holds the line Modified.
 //
-// The Bus serialises transactions with a mutex, which is faithful to a bus
-// and keeps the protocol race-free when contexts run as parallel goroutines.
+// The directory is sharded by line address: transactions on the same line
+// always serialise on one shard lock (which is what keeps the per-line MESI
+// invariants), while transactions on different shards proceed concurrently —
+// so N simulated contexts missing their L2s at once no longer serialise on a
+// single global mutex. Each cache additionally carries its own mutex,
+// because a transaction on line X can evict a cache's copy of line Y from a
+// different shard; every per-cache operation inside a transaction takes that
+// cache's lock (never two at once, so lock order is trivially acyclic:
+// shard → one cache).
+//
 // The default machine model runs with coherence traffic disabled for speed
 // (worksharing kernels partition their data); the Bus is exercised by the
 // true-sharing ablation and by the SCASH intra-node tests.
 type Bus struct {
 	mu     sync.Mutex
-	caches []*Cache
+	caches []*Cache // attach-time only; read-only during traffic
 
-	// Transaction counters.
-	ReadMisses    uint64
-	WriteMisses   uint64
-	Invalidations uint64
-	Interventions uint64 // peer supplied the line (was M or E)
-	Writebacks    uint64
+	shards [busShards]busShard
 }
 
 // NewBus creates an empty bus.
 func NewBus() *Bus { return &Bus{} }
 
-// Attach registers c on the bus.
+// Attach registers c on the bus. Attachment happens at machine configuration
+// time, strictly before any traffic.
 func (b *Bus) Attach(c *Cache) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -47,81 +72,112 @@ func (b *Bus) Attach(c *Cache) {
 // cost model charges as a cache-to-cache transfer rather than a memory
 // fetch).
 func (b *Bus) Access(c *Cache, lineAddr uint64, write bool) (Result, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	sh := &b.shards[lineAddr&(busShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	hitState := c.Probe(lineAddr)
 	intervention := false
 
 	if write {
-		// Invalidate all peer copies.
+		// Invalidate all peer copies, then take the line Modified locally.
 		for _, p := range b.caches {
 			if p == c {
 				continue
 			}
-			st := p.Probe(lineAddr)
-			if st == Invalid {
+			switch p.invalidate(lineAddr) {
+			case Invalid:
 				continue
-			}
-			if st == Modified {
-				b.Writebacks++
+			case Modified:
+				sh.writebacks++
 				intervention = true
-			} else if st == Exclusive {
+			case Exclusive:
 				intervention = true
 			}
-			p.setState(lineAddr, Invalid)
-			b.Invalidations++
+			sh.invalidations++
 		}
-		if hitState == Invalid {
-			b.WriteMisses++
+		res := c.lockedAccess(lineAddr, true)
+		if !res.Hit {
+			sh.writeMisses++
 		}
-		res := c.Access(lineAddr, true)
 		if intervention {
-			b.Interventions++
+			sh.interventions++
 		}
 		return res, intervention
 	}
 
-	if hitState != Invalid {
-		return c.Access(lineAddr, false), false
+	res := c.lockedAccess(lineAddr, false)
+	if res.Hit {
+		return res, false
 	}
-	b.ReadMisses++
+	// Read miss: the line filled Exclusive; snoop peers and downgrade to
+	// Shared all round if any other copy exists.
+	sh.readMisses++
 	shared := false
 	for _, p := range b.caches {
 		if p == c {
 			continue
 		}
-		switch p.Probe(lineAddr) {
+		switch p.downgrade(lineAddr) {
 		case Modified:
-			b.Writebacks++
-			p.setState(lineAddr, Shared)
+			sh.writebacks++
 			intervention = true
 			shared = true
 		case Exclusive:
-			p.setState(lineAddr, Shared)
 			intervention = true
 			shared = true
 		case Shared:
 			shared = true
 		}
 	}
-	res := c.Access(lineAddr, false)
 	if shared {
-		c.setState(lineAddr, Shared)
+		c.lockedSetState(lineAddr, Shared)
 	}
 	if intervention {
-		b.Interventions++
+		sh.interventions++
 	}
 	return res, intervention
 }
+
+// counters sums the per-shard transaction counters.
+func (b *Bus) counters() (rm, wm, inv, itv, wb uint64) {
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		rm += sh.readMisses
+		wm += sh.writeMisses
+		inv += sh.invalidations
+		itv += sh.interventions
+		wb += sh.writebacks
+		sh.mu.Unlock()
+	}
+	return
+}
+
+// ReadMisses returns the total read-miss transactions across all shards.
+func (b *Bus) ReadMisses() uint64 { rm, _, _, _, _ := b.counters(); return rm }
+
+// WriteMisses returns the total write-miss transactions.
+func (b *Bus) WriteMisses() uint64 { _, wm, _, _, _ := b.counters(); return wm }
+
+// Invalidations returns the total peer copies invalidated.
+func (b *Bus) Invalidations() uint64 { _, _, inv, _, _ := b.counters(); return inv }
+
+// Interventions returns the transactions a peer supplied the line for
+// (it held the line M or E).
+func (b *Bus) Interventions() uint64 { _, _, _, itv, _ := b.counters(); return itv }
+
+// Writebacks returns the dirty peer copies written back by snoops.
+func (b *Bus) Writebacks() uint64 { _, _, _, _, wb := b.counters(); return wb }
 
 // Owners returns, for tests, the number of caches holding lineAddr in each
 // state; MESI requires at most one Modified-or-Exclusive owner and that an
 // M/E owner excludes Shared copies.
 func (b *Bus) Owners(lineAddr uint64) (m, e, s int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	sh := &b.shards[lineAddr&(busShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for _, p := range b.caches {
+		p.mu.Lock()
 		switch p.Probe(lineAddr) {
 		case Modified:
 			m++
@@ -130,6 +186,7 @@ func (b *Bus) Owners(lineAddr uint64) (m, e, s int) {
 		case Shared:
 			s++
 		}
+		p.mu.Unlock()
 	}
 	return
 }

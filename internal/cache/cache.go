@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 
 	"hugeomp/internal/units"
 )
@@ -46,12 +47,6 @@ type Config struct {
 	LineSize  int64 // defaults to units.CacheLineSize
 }
 
-type line struct {
-	tag   uint64
-	stamp uint64
-	state State
-}
-
 // Result reports what an access did.
 type Result struct {
 	Hit       bool
@@ -61,8 +56,16 @@ type Result struct {
 }
 
 // Cache is one set-associative write-back LRU cache level.
+//
+// Line metadata is stored structure-of-arrays: the tag scan — the hot loop
+// of every simulated access — walks a contiguous []uint64, so a 16-way probe
+// touches two host cache lines instead of the six an array-of-structs layout
+// costs; stamps are only touched on the miss path (victim selection) and
+// states only on state transitions.
 type Cache struct {
-	lines     []line
+	tags      []uint64
+	stamps    []uint64
+	states    []State
 	assoc     int
 	setMask   uint64
 	lineShift uint
@@ -70,6 +73,12 @@ type Cache struct {
 
 	id  int  // position on the bus, -1 if not attached
 	bus *Bus // nil when coherence is disabled
+
+	// mu serialises bus-side operations on this cache: a sharded-bus
+	// transaction on one line can evict this cache's copy of a line from a
+	// different shard, so shard locks alone cannot protect the line arrays.
+	// The raw single-owner methods (Access, Probe, …) do not take it.
+	mu sync.Mutex
 }
 
 // New builds a cache from cfg.
@@ -98,7 +107,9 @@ func New(cfg Config) *Cache {
 		shift++
 	}
 	return &Cache{
-		lines:     make([]line, nLines),
+		tags:      make([]uint64, nLines),
+		stamps:    make([]uint64, nLines),
+		states:    make([]State, nLines),
 		assoc:     assoc,
 		setMask:   uint64(sets - 1),
 		lineShift: shift,
@@ -114,85 +125,128 @@ func (c *Cache) LineAddr(pa units.Addr) uint64 { return uint64(pa) >> c.lineShif
 // Coherence (if the cache is attached to a Bus) is handled by the caller via
 // Bus.Access; this method is the raw, single-owner path.
 func (c *Cache) Access(lineAddr uint64, write bool) Result {
-	set := lineAddr & c.setMask
-	base := int(set) * c.assoc
-	for i := 0; i < c.assoc; i++ {
-		l := &c.lines[base+i]
-		if l.state != Invalid && l.tag == lineAddr {
+	base := int(lineAddr&c.setMask) * c.assoc
+	// Hit scan: tags only, so the common case stays within one or two host
+	// cache lines.
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == lineAddr && c.states[i] != Invalid {
 			c.tick++
-			l.stamp = c.tick
+			c.stamps[i] = c.tick
 			if write {
-				l.state = Modified
+				c.states[i] = Modified
 			}
 			return Result{Hit: true}
 		}
 	}
-	// Miss: choose victim.
-	victim, oldest := 0, ^uint64(0)
-	for i := 0; i < c.assoc; i++ {
-		l := &c.lines[base+i]
-		if l.state == Invalid {
-			victim, oldest = i, 0
+	// Miss: choose victim (first Invalid way, else LRU).
+	victim, oldest := base, ^uint64(0)
+	for i := base; i < base+c.assoc; i++ {
+		if c.states[i] == Invalid {
+			victim = i
 			break
 		}
-		if l.stamp < oldest {
-			victim, oldest = i, l.stamp
+		if c.stamps[i] < oldest {
+			victim, oldest = i, c.stamps[i]
 		}
 	}
-	l := &c.lines[base+victim]
 	res := Result{}
-	if l.state != Invalid {
+	if c.states[victim] != Invalid {
 		res.HadEvict = true
-		res.Evicted = l.tag
-		res.Writeback = l.state == Modified
+		res.Evicted = c.tags[victim]
+		res.Writeback = c.states[victim] == Modified
 	}
 	c.tick++
 	st := Exclusive
 	if write {
 		st = Modified
 	}
-	*l = line{tag: lineAddr, stamp: c.tick, state: st}
+	c.tags[victim] = lineAddr
+	c.stamps[victim] = c.tick
+	c.states[victim] = st
 	return res
 }
 
 // Probe reports the state of lineAddr without touching LRU state.
 func (c *Cache) Probe(lineAddr uint64) State {
-	set := lineAddr & c.setMask
-	base := int(set) * c.assoc
-	for i := 0; i < c.assoc; i++ {
-		l := &c.lines[base+i]
-		if l.state != Invalid && l.tag == lineAddr {
-			return l.state
+	base := int(lineAddr&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == lineAddr && c.states[i] != Invalid {
+			return c.states[i]
 		}
 	}
 	return Invalid
 }
 
 func (c *Cache) setState(lineAddr uint64, st State) {
-	set := lineAddr & c.setMask
-	base := int(set) * c.assoc
-	for i := 0; i < c.assoc; i++ {
-		l := &c.lines[base+i]
-		if l.state != Invalid && l.tag == lineAddr {
-			if st == Invalid {
-				l.state = Invalid
-			} else {
-				l.state = st
-			}
+	base := int(lineAddr&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == lineAddr && c.states[i] != Invalid {
+			c.states[i] = st
 			return
 		}
 	}
+}
+
+// lockedAccess is Access under the cache's bus-side mutex.
+func (c *Cache) lockedAccess(lineAddr uint64, write bool) Result {
+	c.mu.Lock()
+	res := c.Access(lineAddr, write)
+	c.mu.Unlock()
+	return res
+}
+
+// lockedSetState is setState under the cache's bus-side mutex.
+func (c *Cache) lockedSetState(lineAddr uint64, st State) {
+	c.mu.Lock()
+	c.setState(lineAddr, st)
+	c.mu.Unlock()
+}
+
+// invalidate atomically removes lineAddr (if present) and returns the state
+// it held, so a bus write transaction probes and invalidates a peer in one
+// critical section.
+func (c *Cache) invalidate(lineAddr uint64) State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base := int(lineAddr&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == lineAddr && c.states[i] != Invalid {
+			st := c.states[i]
+			c.states[i] = Invalid
+			return st
+		}
+	}
+	return Invalid
+}
+
+// downgrade atomically moves lineAddr (if present) to Shared and returns the
+// state it held, so a bus read transaction probes and downgrades a peer in
+// one critical section.
+func (c *Cache) downgrade(lineAddr uint64) State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base := int(lineAddr&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == lineAddr && c.states[i] != Invalid {
+			st := c.states[i]
+			c.states[i] = Shared
+			return st
+		}
+	}
+	return Invalid
 }
 
 // Flush invalidates every line, returning the number of dirty lines written
 // back.
 func (c *Cache) Flush() int {
 	dirty := 0
-	for i := range c.lines {
-		if c.lines[i].state == Modified {
+	for i := range c.states {
+		if c.states[i] == Modified {
 			dirty++
 		}
-		c.lines[i] = line{}
+		c.states[i] = Invalid
+		c.tags[i] = 0
+		c.stamps[i] = 0
 	}
 	return dirty
 }
@@ -200,8 +254,8 @@ func (c *Cache) Flush() int {
 // Live returns the number of valid lines.
 func (c *Cache) Live() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].state != Invalid {
+	for i := range c.states {
+		if c.states[i] != Invalid {
 			n++
 		}
 	}
@@ -209,4 +263,4 @@ func (c *Cache) Live() int {
 }
 
 // Lines returns total capacity in lines.
-func (c *Cache) Lines() int { return len(c.lines) }
+func (c *Cache) Lines() int { return len(c.states) }

@@ -146,7 +146,7 @@ func TestMESIBusWriteInvalidates(t *testing.T) {
 	if st := a.Probe(9); st != Modified {
 		t.Errorf("writer state = %v, want M", st)
 	}
-	if bus.Invalidations == 0 {
+	if bus.Invalidations() == 0 {
 		t.Error("no invalidations counted")
 	}
 }
@@ -163,7 +163,7 @@ func TestMESIModifiedIntervention(t *testing.T) {
 	if !interv {
 		t.Error("dirty peer must intervene")
 	}
-	if bus.Writebacks == 0 {
+	if bus.Writebacks() == 0 {
 		t.Error("M->S downgrade must write back")
 	}
 	if a.Probe(3) != Shared || b.Probe(3) != Shared {

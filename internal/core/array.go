@@ -75,6 +75,20 @@ func (a *Array) StoreStride(c *machine.Context, start, count, strideElems int) {
 	c.AccessRange(a.Addr(start), count, int64(strideElems)*8, true)
 }
 
+// Gather simulates reading elements a[idx[j]] for every j — the indexed
+// access pattern of sparse kernels — through the bulk GatherRange fast path
+// (one translation per touched page, one cache probe per line run). idx is
+// never mutated; the caller computes on a.Data[idx[j]] directly.
+func (a *Array) Gather(c *machine.Context, idx []int64) {
+	c.GatherRange(a.Base, 8, idx)
+}
+
+// Scatter simulates writing elements a[idx[j]] for every j (the write-side
+// dual of Gather, e.g. a permutation store).
+func (a *Array) Scatter(c *machine.Context, idx []int64) {
+	c.ScatterRange(a.Base, 8, idx)
+}
+
 // Ints is a shared global array of int64 (index arrays of the CG kernel).
 type Ints struct {
 	Name string

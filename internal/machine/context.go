@@ -3,6 +3,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -73,6 +74,19 @@ type Context struct {
 	lastMissLine  uint64
 	lastMissValid bool
 
+	// Translation cache: a direct-mapped, generation-stamped host-side cache
+	// of page-walk results, so repeat walks to an unchanged table never take
+	// the table's RWMutex. Purely a simulator fast path — simulated walk
+	// costs (MemRefs, DTLBWalks) are charged identically either way. Only
+	// the owning goroutine touches it; see walk for the validity protocol.
+	xlat []xlatEntry
+
+	// Scratch buffers for GatherRange/ScatterRange index sorting, reused
+	// across calls so steady-state gathers are allocation-free.
+	idxSort []int64
+	idxTmp  []int64
+	idxCnt  []int32
+
 	// Shootdown mailbox: cross-context TLB invalidations are delivered like
 	// IPIs — enqueued by the sender, drained by the owning goroutine at its
 	// next access — so no other goroutine ever mutates this context's TLBs.
@@ -88,6 +102,21 @@ type shootReq struct {
 	va   units.Addr
 	size units.PageSize
 	all  bool // full flush
+}
+
+// xlatSlots sizes the per-context translation cache (direct-mapped, keyed by
+// 4 KB virtual page number). Must be a power of two. 4096 slots cover 16 MB
+// of 4 KB pages — the working sets of the NPB classes the harness sweeps —
+// in ~200 KB per context; conflicts merely fall back to a locked walk.
+const xlatSlots = 4096
+
+// xlatEntry caches one page-walk result. gen is the pagetable generation
+// observed before the walk that produced it; 0 (the table's reserved
+// pre-first generation) marks an empty slot.
+type xlatEntry struct {
+	vpn uint64 // 4 KB-granule virtual page number (tag)
+	gen uint64
+	wr  pagetable.WalkResult
 }
 
 // HasSibling reports whether an SMT sibling is co-scheduled on this core.
@@ -170,10 +199,32 @@ func (c *Context) countL1Miss(s units.PageSize) {
 	}
 }
 
+// walk resolves va through the page table, retrying after serviced faults.
+// Repeat walks are served from the per-context translation cache: every
+// entry is stamped with the table generation observed *before* its walk, so
+// a stamp that still equals Gen() proves the table has not mutated since and
+// the cached result is exactly what a fresh walk would return — without
+// taking the table's RWMutex. A stale stamp (or a protection mismatch, which
+// must reach OnFault) just falls through to the locked walk. Invalidation is
+// purely monotonic: Map/Unmap/Protect bump the generation, and the TLB-level
+// consequences are already handled by the shootdown mailbox.
 func (c *Context) walk(va units.Addr, write bool) pagetable.WalkResult {
+	vpn := uint64(va) >> units.PageShift4K
+	slot := &c.xlat[vpn&(xlatSlots-1)]
+	if slot.gen == c.pt.Gen() && slot.vpn == vpn {
+		need := pagetable.ProtRead
+		if write {
+			need = pagetable.ProtWrite
+		}
+		if slot.wr.Entry.Prot&need != 0 {
+			return slot.wr
+		}
+	}
 	for {
+		gen := c.pt.Gen()
 		wr, err := c.pt.Access(va, write)
 		if err == nil {
+			*slot = xlatEntry{vpn: vpn, gen: gen, wr: wr}
 			return wr
 		}
 		faultable := errors.Is(err, pagetable.ErrProtViolation) ||
@@ -281,14 +332,15 @@ func (c *Context) Load(va units.Addr) { c.dataAccess(va, false) }
 func (c *Context) Store(va units.Addr) { c.dataAccess(va, true) }
 
 // AccessRange simulates n accesses at base, base+stride, base+2·stride, …
-// with exact TLB/cache behaviour. Dense positive-stride runs take the bulk
-// fast path, which computes the identical counter updates in O(pages·lines)
-// instead of O(elements): one translation per page segment and, for strides
-// below the cache-line size, one cache lookup per line run with the
-// remaining same-line accesses bulk-accounted as the L1 hits they are by
-// construction. Non-positive strides and contexts with a fault handler
-// installed (SCASH coherence, transparent huge pages — where a walk can
-// change the mapping mid-run) fall back to the scalar reference path.
+// with exact TLB/cache behaviour. Non-zero-stride runs take the bulk fast
+// path, which computes the identical counter updates in O(pages·lines)
+// instead of O(elements): one translation per page segment and, for stride
+// magnitudes below the cache-line size, one cache lookup per line run with
+// the remaining same-line accesses bulk-accounted as the L1 hits they are by
+// construction (negative strides walk the segments in descending address
+// order). Zero strides and contexts with a fault handler installed (SCASH
+// coherence, transparent huge pages — where a walk can change the mapping
+// mid-run) fall back to the scalar reference path.
 func (c *Context) AccessRange(base units.Addr, n int, stride int64, write bool) {
 	if n <= 0 {
 		return
@@ -300,7 +352,7 @@ func (c *Context) AccessRange(base units.Addr, n int, stride int64, write bool) 
 	}
 	c.lockCore()
 	var busy uint64
-	if stride > 0 && c.OnFault == nil {
+	if stride != 0 && c.OnFault == nil {
 		busy = c.rangeBulk(base, n, stride, write)
 	} else {
 		busy = c.rangeScalar(base, n, stride, write)
@@ -363,11 +415,18 @@ func (c *Context) rangeScalar(base units.Addr, n int, stride int64, write bool) 
 // happens inside a run of accesses to one line, so the relative recency of
 // distinct lines — all that LRU replacement observes — is unchanged.
 // Shootdowns are drained at page-segment granularity (the mailbox contract
-// is "applied at the next access", which this satisfies). Caller holds the
-// core lock; stride must be positive and OnFault nil.
+// is "applied at the next access", which this satisfies). Negative strides
+// walk the same decomposition in descending address order: a segment ends
+// when the address drops below the page base, a run when it drops below the
+// line base. Caller holds the core lock; stride must be non-zero and OnFault
+// nil.
 func (c *Context) rangeBulk(base units.Addr, n int, stride int64, write bool) uint64 {
 	var busy uint64
 	hitCyc := c.costs.ExecCyc + c.costs.L1HitCyc
+	abs := stride
+	if abs < 0 {
+		abs = -abs
+	}
 	for i := 0; i < n; {
 		if c.shootFlag.Load() {
 			c.drainShootdowns()
@@ -381,13 +440,19 @@ func (c *Context) rangeBulk(base units.Addr, n int, stride int64, write bool) ui
 			c.lastDataW = writable
 			c.dataCacheOK = true
 		}
-		// Elements landing on this page: ceil((pageEnd−va)/stride).
-		pageEnd := int64(c.lastDataBase) + int64(c.lastDataMask) + 1
-		segN := int((pageEnd - int64(va) + stride - 1) / stride)
+		// Elements landing on this page: ascending, ceil((pageEnd−va)/stride);
+		// descending, those down to the page base inclusive.
+		var segN int
+		if stride > 0 {
+			pageEnd := int64(c.lastDataBase) + int64(c.lastDataMask) + 1
+			segN = int((pageEnd - int64(va) + stride - 1) / stride)
+		} else {
+			segN = int((int64(va)-int64(c.lastDataBase))/abs) + 1
+		}
 		if segN > n-i {
 			segN = n - i
 		}
-		if stride >= units.CacheLineSize {
+		if abs >= units.CacheLineSize {
 			// At most one element per line: the translation is amortised
 			// but every element still probes the cache hierarchy.
 			for j := 0; j < segN; j++ {
@@ -395,20 +460,28 @@ func (c *Context) rangeBulk(base units.Addr, n int, stride int64, write bool) ui
 				busy += c.costs.ExecCyc + c.cacheAccess(uint64(eva)>>lineShift, write)
 			}
 		} else {
-			// When the stride divides the line size, every line-aligned run
-			// holds exactly lineSize/stride elements, so the run-length
-			// division is needed only for partial (unaligned) runs.
+			// When a positive stride divides the line size, every
+			// line-aligned run holds exactly lineSize/stride elements, so the
+			// run-length division is needed only for partial (unaligned)
+			// runs. Descending runs always compute their length down to the
+			// line base.
 			kFull := 0
-			if units.CacheLineSize%stride == 0 {
+			if stride > 0 && units.CacheLineSize%stride == 0 {
 				kFull = int(units.CacheLineSize / stride)
 			}
 			for j := 0; j < segN; {
 				eva := va + units.Addr(int64(j)*stride)
 				line := uint64(eva) >> lineShift
-				k := kFull
-				if k == 0 || int64(eva)&(units.CacheLineSize-1) != 0 {
-					lineEnd := int64(line+1) << lineShift
-					k = int((lineEnd - int64(eva) + stride - 1) / stride)
+				var k int
+				if stride > 0 {
+					k = kFull
+					if k == 0 || int64(eva)&(units.CacheLineSize-1) != 0 {
+						lineEnd := int64(line+1) << lineShift
+						k = int((lineEnd - int64(eva) + stride - 1) / stride)
+					}
+				} else {
+					lineBase := int64(line) << lineShift
+					k = int((int64(eva)-lineBase)/abs) + 1
 				}
 				if k > segN-j {
 					k = segN - j
@@ -424,6 +497,280 @@ func (c *Context) rangeBulk(base units.Addr, n int, stride int64, write bool) ui
 		i += segN
 	}
 	return busy
+}
+
+// GatherRange simulates len(idx) loads at base + idx[j]·elemSize — the
+// indexed access pattern of sparse kernels (CG's a[colidx[k]] gather). The
+// accesses are issued in ascending index order: the list is copied into a
+// per-context scratch buffer and sorted (the caller's slice is never
+// mutated), then decomposed into page segments and cache-line runs exactly
+// like rangeBulk — one translation per touched page, one cache probe per
+// line run, with the remaining same-line accesses (duplicates included;
+// every index counts) bulk-accounted as the L1 hits they are by
+// construction. GatherRangeScalar is the per-element reference for the same
+// sorted order and is property-tested to produce byte-identical counters.
+// Non-positive element sizes and contexts with a fault handler installed
+// take the scalar path (still in sorted index order).
+func (c *Context) GatherRange(base units.Addr, elemSize int64, idx []int64) {
+	c.indexedRange(base, elemSize, idx, false)
+}
+
+// ScatterRange simulates len(idx) stores at base + idx[j]·elemSize — the
+// write-side dual of GatherRange (e.g. x[perm[i]] = …). Same issue order and
+// decomposition as GatherRange.
+func (c *Context) ScatterRange(base units.Addr, elemSize int64, idx []int64) {
+	c.indexedRange(base, elemSize, idx, true)
+}
+
+// GatherRangeScalar is the O(elements) reference implementation of
+// GatherRange: the identical sorted issue order, but every element
+// translated and cache-probed individually. Exists for the equivalence
+// property tests and the before/after micro-benchmarks.
+func (c *Context) GatherRangeScalar(base units.Addr, elemSize int64, idx []int64) {
+	c.indexedRangeScalar(base, elemSize, idx, false)
+}
+
+// ScatterRangeScalar is the scalar reference for ScatterRange.
+func (c *Context) ScatterRangeScalar(base units.Addr, elemSize int64, idx []int64) {
+	c.indexedRangeScalar(base, elemSize, idx, true)
+}
+
+func (c *Context) indexedRange(base units.Addr, elemSize int64, idx []int64, write bool) {
+	n := len(idx)
+	if n == 0 {
+		return
+	}
+	if write {
+		c.Ctr.Stores += uint64(n)
+	} else {
+		c.Ctr.Loads += uint64(n)
+	}
+	sorted := c.sortedIndices(idx)
+	c.lockCore()
+	var busy uint64
+	if elemSize > 0 && c.OnFault == nil {
+		busy = c.gatherBulk(base, elemSize, sorted, write)
+	} else {
+		busy = c.gatherScalar(base, elemSize, sorted, write)
+	}
+	c.unlockCore()
+	c.Ctr.Busy += busy
+}
+
+func (c *Context) indexedRangeScalar(base units.Addr, elemSize int64, idx []int64, write bool) {
+	n := len(idx)
+	if n == 0 {
+		return
+	}
+	if write {
+		c.Ctr.Stores += uint64(n)
+	} else {
+		c.Ctr.Loads += uint64(n)
+	}
+	sorted := c.sortedIndices(idx)
+	c.lockCore()
+	busy := c.gatherScalar(base, elemSize, sorted, write)
+	c.unlockCore()
+	c.Ctr.Busy += busy
+}
+
+// gatherScalar is the per-element loop over an already-sorted index list.
+// Caller holds the core lock.
+func (c *Context) gatherScalar(base units.Addr, elemSize int64, sorted []int64, write bool) uint64 {
+	var busy uint64
+	for _, ix := range sorted {
+		va := base + units.Addr(ix*elemSize)
+		cyc := c.costs.ExecCyc
+		if c.shootFlag.Load() {
+			c.drainShootdowns()
+		}
+		if !c.dataCacheOK || va&^c.lastDataMask != c.lastDataBase || (write && !c.lastDataW) {
+			size, writable, tcyc := c.translateData(va, write)
+			cyc += tcyc
+			c.lastDataMask = size.Mask()
+			c.lastDataBase = va &^ c.lastDataMask
+			c.lastDataW = writable
+			c.dataCacheOK = true
+		}
+		cyc += c.cacheAccess(uint64(va)>>lineShift, write)
+		busy += cyc
+	}
+	return busy
+}
+
+// gatherBulk is the O(pages·lines) indexed fast path over an already-sorted
+// index list. Ascending order makes the rangeBulk argument carry over
+// unchanged: all elements on one page are consecutive, so the write-upgrade
+// re-probe can only fire on a page's first element and one translation per
+// page matches the per-element micro-TLB behaviour; all elements on one line
+// are consecutive, so after the run head's probe the rest are L1 hits by
+// construction (skipped LRU refreshes stay within a single line's run, so
+// the relative recency of distinct lines is unchanged). Shootdowns drain at
+// page-segment granularity, like rangeBulk. Caller holds the core lock;
+// elemSize must be positive and OnFault nil.
+func (c *Context) gatherBulk(base units.Addr, elemSize int64, sorted []int64, write bool) uint64 {
+	var busy uint64
+	hitCyc := c.costs.ExecCyc + c.costs.L1HitCyc
+	n := len(sorted)
+	for i := 0; i < n; {
+		if c.shootFlag.Load() {
+			c.drainShootdowns()
+		}
+		va := base + units.Addr(sorted[i]*elemSize)
+		if !c.dataCacheOK || va&^c.lastDataMask != c.lastDataBase || (write && !c.lastDataW) {
+			size, writable, tcyc := c.translateData(va, write)
+			busy += tcyc
+			c.lastDataMask = size.Mask()
+			c.lastDataBase = va &^ c.lastDataMask
+			c.lastDataW = writable
+			c.dataCacheOK = true
+		}
+		pageLast := c.lastDataBase + c.lastDataMask
+		for i < n {
+			eva := base + units.Addr(sorted[i]*elemSize)
+			if eva > pageLast {
+				break
+			}
+			line := uint64(eva) >> lineShift
+			k := 1
+			for i+k < n && uint64(base+units.Addr(sorted[i+k]*elemSize))>>lineShift == line {
+				k++
+			}
+			busy += c.costs.ExecCyc + c.cacheAccess(line, write)
+			if k > 1 {
+				c.Ctr.L1Hits += uint64(k - 1)
+				busy += uint64(k-1) * hitCyc
+			}
+			i += k
+		}
+	}
+	return busy
+}
+
+// sortedIndices returns idx sorted ascending in a reusable per-context
+// scratch buffer, leaving the caller's slice untouched. Index lists are
+// either tiny (one sparse row's column indices) or large and uniform (a
+// whole region's permutation), so short lists insertion-sort and long ones
+// dispatch through distSort — allocation-free once the scratch is warm.
+func (c *Context) sortedIndices(idx []int64) []int64 {
+	n := len(idx)
+	if cap(c.idxSort) < n {
+		c.idxSort = make([]int64, n)
+	}
+	s := c.idxSort[:n]
+	copy(s, idx)
+	ascending := true
+	for i := 1; i < n; i++ {
+		if s[i-1] > s[i] {
+			ascending = false
+			break
+		}
+	}
+	if ascending {
+		return s
+	}
+	if n <= 48 {
+		for i := 1; i < n; i++ {
+			v := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > v {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = v
+		}
+		return s
+	}
+	c.distSort(s)
+	return s
+}
+
+// distSort sorts a long index list, dispatching on its value range: a dense
+// range takes a counting sort (values are their own keys, so the output is
+// regenerated from the histogram with no data movement at all), anything
+// else the byte-wise radix. Gather index lists are array subscripts, so the
+// dense case — range within a small factor of the list length — is the norm.
+func (c *Context) distSort(s []int64) {
+	n := len(s)
+	mn, mx := s[0], s[0]
+	for _, v := range s[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	rng := uint64(mx - mn)
+	if rng <= uint64(2*n) && rng < 1<<22 { // bucket scratch capped at 16 MB
+		buckets := int(rng) + 1
+		if cap(c.idxCnt) < buckets {
+			c.idxCnt = make([]int32, buckets)
+		}
+		cnt := c.idxCnt[:buckets]
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, v := range s {
+			cnt[v-mn]++
+		}
+		pos := 0
+		for b, k := range cnt {
+			for ; k > 0; k-- {
+				s[pos] = mn + int64(b)
+				pos++
+			}
+		}
+		return
+	}
+	c.radixSort(s, mn, mx)
+}
+
+// radixSort sorts s ascending with a byte-wise LSD radix, given the list's
+// min and max. Keys compare as uint64(v) XOR the sign bit, which orders
+// negative values correctly. Byte lanes above the common prefix of the min
+// and max key are constant for every key in between and are skipped
+// entirely; a lane whose histogram puts all keys in one bucket skips its
+// scatter pass.
+func (c *Context) radixSort(s []int64, vmn, vmx int64) {
+	n := len(s)
+	if cap(c.idxTmp) < n {
+		c.idxTmp = make([]int64, n)
+	}
+	t := c.idxTmp[:n]
+	const signBit = uint64(1) << 63
+	mn := uint64(vmn) ^ signBit
+	mx := uint64(vmx) ^ signBit
+	top := 0
+	if diff := mn ^ mx; diff != 0 {
+		top = (63 - bits.LeadingZeros64(diff)) / 8
+	}
+	orig := s
+	for d := 0; d <= top; d++ {
+		shift := uint(8 * d)
+		var count [256]int
+		for _, v := range s {
+			count[((uint64(v)^signBit)>>shift)&0xff]++
+		}
+		if count[((uint64(s[0])^signBit)>>shift)&0xff] == n {
+			continue // constant lane: nothing to move
+		}
+		pos := 0
+		for b := 0; b < 256; b++ {
+			cnt := count[b]
+			count[b] = pos
+			pos += cnt
+		}
+		for _, v := range s {
+			b := ((uint64(v) ^ signBit) >> shift) & 0xff
+			t[count[b]] = v
+			count[b]++
+		}
+		s, t = t, s
+	}
+	if &s[0] != &orig[0] {
+		copy(orig, s)
+	}
 }
 
 // translateFetch resolves va through the ITLB stack, refreshing the fetch

@@ -94,20 +94,29 @@ func TestAccessRangeEquivalenceProperty(t *testing.T) {
 	}
 }
 
-// TestAccessRangeNegativeStrideEquivalence pins the scalar fallback: a
-// negative stride cannot take the bulk path but must still match elementwise
-// accesses exactly.
+// TestAccessRangeNegativeStrideEquivalence: the bulk path walks descending
+// ranges natively (page segments and line runs mirrored downward) and must
+// match both elementwise accesses and the scalar reference exactly.
 func TestAccessRangeNegativeStrideEquivalence(t *testing.T) {
-	cfg := equivConfigs()[0]
-	a, b := cfg.mk(t), cfg.mk(t)
-	const count, stride = 300, -136
-	start := units.Addr(2 * units.MB)
-	a.AccessRange(start, count, stride, true)
-	for i := 0; i < count; i++ {
-		b.Store(start + units.Addr(int64(i)*stride))
-	}
-	if a.Ctr != b.Ctr {
-		t.Errorf("negative-stride counters diverge:\nrange: %+v\nelem:  %+v", a.Ctr, b.Ctr)
+	for _, cfg := range equivConfigs() {
+		t.Run(cfg.name, func(t *testing.T) {
+			for _, stride := range []int64{-8, -24, -136, -4096, -9000} {
+				a, b, s := cfg.mk(t), cfg.mk(t), cfg.mk(t)
+				const count = 300
+				start := units.Addr(3 * units.MB)
+				a.AccessRange(start, count, stride, true)
+				for i := 0; i < count; i++ {
+					b.Store(start + units.Addr(int64(i)*stride))
+				}
+				s.AccessRangeScalar(start, count, stride, true)
+				if a.Ctr != b.Ctr {
+					t.Errorf("stride %d: bulk != elementwise:\nrange: %+v\nelem:  %+v", stride, a.Ctr, b.Ctr)
+				}
+				if a.Ctr != s.Ctr {
+					t.Errorf("stride %d: bulk != scalar:\nrange:  %+v\nscalar: %+v", stride, a.Ctr, s.Ctr)
+				}
+			}
+		})
 	}
 }
 

@@ -271,7 +271,7 @@ func TestCoherentBusIntervention(t *testing.T) {
 	}
 	ctxs[0].Store(0)
 	ctxs[1].Load(0) // must intervene: ctx0 holds the line Modified
-	if m.Bus().Interventions == 0 {
+	if m.Bus().Interventions() == 0 {
 		t.Error("no cache-to-cache intervention recorded")
 	}
 }

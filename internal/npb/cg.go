@@ -175,11 +175,15 @@ func (k *CG) matvec(rt *omp.RT) {
 				ke := int(k.rowstr.Data[i+1])
 				k.a.LoadRange(c, kb, ke)
 				k.colidx.LoadRange(c, kb, ke)
+				// The random gather: one bulk indexed access per row.
+				// Row granularity preserves the kernel's DTLB pressure —
+				// each row's handful of columns still lands on scattered
+				// pages — while the fast path amortises translation and
+				// cache probes within the row.
+				k.p.Gather(c, k.colidx.Data[kb:ke])
 				sum := 0.0
 				for kk := kb; kk < ke; kk++ {
-					col := int(k.colidx.Data[kk])
-					c.Load(k.p.Addr(col)) // the random gather
-					sum += k.a.Data[kk] * k.p.Data[col]
+					sum += k.a.Data[kk] * k.p.Data[int(k.colidx.Data[kk])]
 				}
 				c.Compute(uint64(2 * (ke - kb)))
 				k.q.Data[i] = sum

@@ -205,7 +205,7 @@ func TestCoherentTrueSharingIntegration(t *testing.T) {
 	if sys.Machine.Bus() == nil {
 		t.Fatal("coherent model without a bus")
 	}
-	if sys.Machine.Bus().Interventions == 0 {
+	if sys.Machine.Bus().Interventions() == 0 {
 		t.Error("no cache-to-cache interventions under true sharing")
 	}
 }

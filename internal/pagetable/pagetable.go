@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hugeomp/internal/units"
 )
@@ -78,13 +79,21 @@ type pte struct {
 // layout lives below 16 GB) with a map fallback for arbitrary high
 // addresses; page walks are the simulator's hottest slow path and the slice
 // lookup keeps them cheap.
+//
+// Every mutation (Map, Unmap, Protect) advances the generation counter.
+// The machine layer stamps its per-context translation caches with the
+// generation observed before a walk; an entry whose stamp still equals
+// Gen() is provably a result the table could return right now, so repeat
+// walks become lock-free reads. A stale stamp merely forces a locked
+// re-walk — the invalidation protocol is purely monotonic.
 type Table struct {
 	mu      sync.RWMutex
 	pgdLow  []*pgdEntry // indices below lowPGDs
 	pgdHigh map[uint64]*pgdEntry
 
-	mapped4K int
-	mapped2M int
+	gen      atomic.Uint64 // mutation generation; starts at 1 (see New)
+	mapped4K atomic.Int64
+	mapped2M atomic.Int64
 }
 
 // lowPGDs covers virtual addresses below 16 GB with the slice-indexed PGD.
@@ -92,11 +101,18 @@ const lowPGDs = uint64((16 << 30) / pgdSpan)
 
 // New creates an empty page table.
 func New() *Table {
-	return &Table{
+	t := &Table{
 		pgdLow:  make([]*pgdEntry, lowPGDs),
 		pgdHigh: make(map[uint64]*pgdEntry),
 	}
+	// Generation 0 is reserved as "never valid" so zero-valued translation
+	// cache entries can never match a live table.
+	t.gen.Store(1)
+	return t
 }
+
+// Gen returns the current mutation generation (lock-free).
+func (t *Table) Gen() uint64 { return t.gen.Load() }
 
 // entry returns the PGD entry for index gi, or nil.
 func (t *Table) entry(gi uint64) *pgdEntry {
@@ -143,7 +159,8 @@ func (t *Table) Map(va units.Addr, size units.PageSize, pfn uint64, prot Prot) e
 			return fmt.Errorf("%w: 2MB at %#x", ErrOverlap, va)
 		}
 		t.setEntry(gi, &pgdEntry{large: true, pfn: pfn, prot: prot})
-		t.mapped2M++
+		t.mapped2M.Add(1)
+		t.gen.Add(1)
 		return nil
 	}
 	if e == nil {
@@ -158,7 +175,8 @@ func (t *Table) Map(va units.Addr, size units.PageSize, pfn uint64, prot Prot) e
 	}
 	*p = pte{present: true, pfn: pfn, prot: prot}
 	e.used++
-	t.mapped4K++
+	t.mapped4K.Add(1)
+	t.gen.Add(1)
 	return nil
 }
 
@@ -178,7 +196,8 @@ func (t *Table) Unmap(va units.Addr, size units.PageSize) (Entry, error) {
 		}
 		ent := Entry{PFN: e.pfn, Size: units.Size2M, Prot: e.prot}
 		t.setEntry(gi, nil)
-		t.mapped2M--
+		t.mapped2M.Add(-1)
+		t.gen.Add(1)
 		return ent, nil
 	}
 	if e.large {
@@ -191,7 +210,8 @@ func (t *Table) Unmap(va units.Addr, size units.PageSize) (Entry, error) {
 	ent := Entry{PFN: p.pfn, Size: units.Size4K, Prot: p.prot}
 	*p = pte{}
 	e.used--
-	t.mapped4K--
+	t.mapped4K.Add(-1)
+	t.gen.Add(1)
 	if e.used == 0 {
 		// Free the empty PTE frame so the slot can take a 2 MB mapping
 		// (huge-page promotion collapses the whole directory entry).
@@ -212,6 +232,7 @@ func (t *Table) Protect(va units.Addr, prot Prot) (units.PageSize, error) {
 	}
 	if e.large {
 		e.prot = prot
+		t.gen.Add(1)
 		return units.Size2M, nil
 	}
 	p := &e.ptes[pteIndex(va)]
@@ -219,6 +240,7 @@ func (t *Table) Protect(va units.Addr, prot Prot) (units.PageSize, error) {
 		return 0, fmt.Errorf("%w: %#x", ErrNotMapped, va)
 	}
 	p.prot = prot
+	t.gen.Add(1)
 	return units.Size4K, nil
 }
 
@@ -273,15 +295,13 @@ func PhysAddr(va units.Addr, e Entry) units.Addr {
 	return units.Addr(e.PFN)*units.Addr(units.PageSize4K) + (va & e.Size.Mask())
 }
 
-// Mapped4K returns the number of live 4 KB mappings.
-func (t *Table) Mapped4K() int { t.mu.RLock(); defer t.mu.RUnlock(); return t.mapped4K }
+// Mapped4K returns the number of live 4 KB mappings (lock-free).
+func (t *Table) Mapped4K() int { return int(t.mapped4K.Load()) }
 
-// Mapped2M returns the number of live 2 MB mappings.
-func (t *Table) Mapped2M() int { t.mu.RLock(); defer t.mu.RUnlock(); return t.mapped2M }
+// Mapped2M returns the number of live 2 MB mappings (lock-free).
+func (t *Table) Mapped2M() int { return int(t.mapped2M.Load()) }
 
-// MappedBytes returns the total bytes mapped.
+// MappedBytes returns the total bytes mapped (lock-free).
 func (t *Table) MappedBytes() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return int64(t.mapped4K)*units.PageSize4K + int64(t.mapped2M)*units.PageSize2M
+	return t.mapped4K.Load()*units.PageSize4K + t.mapped2M.Load()*units.PageSize2M
 }
