@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench microbench simbench experiments examples fuzz clean
+.PHONY: all build test check chaos race bench microbench simbench experiments examples fuzz clean
 
 all: build test check
 
@@ -20,7 +20,13 @@ check:
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
-	$(GO) test -race -short -count=1 ./internal/machine/ ./internal/omp/ ./internal/par/ ./internal/bench/
+	$(GO) test -race -short -count=1 ./internal/machine/ ./internal/omp/ ./internal/par/ ./internal/bench/ ./internal/cache/ ./internal/scash/
+
+# Fault-injection soak: 50 seeded, replayable fault plans over CG/MG/SP.
+# Every run must pass NPB verification with fault-free numerics, hold all
+# internal/check invariants, and replay to bit-identical counters.
+chaos:
+	$(GO) run ./cmd/chaos
 
 race:
 	$(GO) test -race ./internal/omp/ ./internal/npb/ ./internal/machine/ ./internal/mpi/ ./internal/par/ ./internal/bench/
@@ -53,6 +59,7 @@ fuzz:
 	$(GO) test -fuzz FuzzHierarchy -fuzztime 30s ./internal/tlb/
 	$(GO) test -fuzz FuzzAllocator -fuzztime 30s ./internal/scash/
 	$(GO) test -fuzz FuzzGatherRange -fuzztime 30s ./internal/machine/
+	$(GO) test -fuzz FuzzCounters -fuzztime 30s ./internal/check/
 
 clean:
 	$(GO) clean ./...

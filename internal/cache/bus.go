@@ -169,6 +169,17 @@ func (b *Bus) Interventions() uint64 { _, _, _, itv, _ := b.counters(); return i
 // Writebacks returns the dirty peer copies written back by snoops.
 func (b *Bus) Writebacks() uint64 { _, _, _, _, wb := b.counters(); return wb }
 
+// Caches returns the caches attached to the bus, for the post-run MESI
+// audit in internal/check. Attachment is configuration-time-only, so the
+// slice is stable once traffic starts.
+func (b *Bus) Caches() []*Cache {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Cache, len(b.caches))
+	copy(out, b.caches)
+	return out
+}
+
 // Owners returns, for tests, the number of caches holding lineAddr in each
 // state; MESI requires at most one Modified-or-Exclusive owner and that an
 // M/E owner excludes Shared copies.

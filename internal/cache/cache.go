@@ -251,6 +251,38 @@ func (c *Cache) Flush() int {
 	return dirty
 }
 
+// Snapshot returns every valid line's coherence state, keyed by line
+// address, under the bus-side lock — the raw material for the MESI audit in
+// internal/check. Call only when no traffic is in flight.
+func (c *Cache) Snapshot() map[uint64]State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint64]State)
+	for i := range c.states {
+		if c.states[i] != Invalid {
+			out[c.tags[i]] = c.states[i]
+		}
+	}
+	return out
+}
+
+// ForceState overwrites the state of lineAddr if the cache holds it,
+// reporting whether it did. It exists so the checker's own tests can corrupt
+// MESI state and prove the audit is not vacuously green; simulation code
+// must never call it.
+func (c *Cache) ForceState(lineAddr uint64, st State) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base := int(lineAddr&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == lineAddr && c.states[i] != Invalid {
+			c.states[i] = st
+			return true
+		}
+	}
+	return false
+}
+
 // Live returns the number of valid lines.
 func (c *Cache) Live() int {
 	n := 0

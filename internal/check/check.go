@@ -1,0 +1,188 @@
+// Package check implements simulator-wide invariant auditing: conservation
+// laws over the profile counters, the MESI single-owner discipline across the
+// coherence bus, TLB-versus-page-table consistency, and the generation
+// protocol of the per-context translation cache.
+//
+// The audits are meant to run on a quiescent system — after a kernel, a
+// barrier, or a whole benchmark completes — and they are what turns the fault
+// campaigns in cmd/chaos from "it didn't crash" into "every structural
+// invariant held under every injected fault". Each audit returns nil when the
+// invariant holds and a descriptive error (all violations joined) when it
+// does not.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hugeomp/internal/cache"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/pagetable"
+	"hugeomp/internal/profile"
+	"hugeomp/internal/tlb"
+	"hugeomp/internal/units"
+)
+
+// Counters verifies the conservation laws that hold for any counter set
+// produced by the machine layer (per-context or any sum of contexts):
+//
+//   - every data access is exactly one L1 outcome: L1Hits+L1Misses == Loads+Stores
+//   - every L1 miss is exactly one L2 outcome: L2Hits+L2Misses == L1Misses
+//   - every first-level DTLB miss is resolved once: DTLBL1Misses == DTLBL2Hit+DTLBWalks
+//   - the DTLB cannot miss more often than it is probed: DTLBL1Misses <= Loads+Stores
+//   - every ITLB miss walks: ITLBL1Miss == ITLBWalks
+//   - attributed cycles are a part of, never more than, the busy clock:
+//     WalkCyc+MemCyc+BarrierCyc+FlushCycles <= Busy
+func Counters(c profile.Counters) error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("check: counters: "+format, args...))
+	}
+	if c.L1Hits+c.L1Misses != c.Accesses() {
+		fail("L1 outcomes %d+%d != %d data accesses", c.L1Hits, c.L1Misses, c.Accesses())
+	}
+	if c.L2Hits+c.L2Misses != c.L1Misses {
+		fail("L2 outcomes %d+%d != %d L1 misses", c.L2Hits, c.L2Misses, c.L1Misses)
+	}
+	if c.DTLBL1Misses() != c.DTLBL2Hit+c.DTLBWalks() {
+		fail("DTLB L1 misses %d != L2 hits %d + walks %d",
+			c.DTLBL1Misses(), c.DTLBL2Hit, c.DTLBWalks())
+	}
+	if c.DTLBL1Misses() > c.Accesses() {
+		fail("DTLB L1 misses %d > %d data accesses", c.DTLBL1Misses(), c.Accesses())
+	}
+	if c.ITLBL1Miss != c.ITLBWalks {
+		fail("ITLB misses %d != %d instruction walks", c.ITLBL1Miss, c.ITLBWalks)
+	}
+	if attributed := c.WalkCyc + c.MemCyc + c.BarrierCyc + c.FlushCycles; attributed > c.Busy {
+		fail("attributed cycles %d (walk %d + mem %d + barrier %d + flush %d) > busy %d",
+			attributed, c.WalkCyc, c.MemCyc, c.BarrierCyc, c.FlushCycles, c.Busy)
+	}
+	return errors.Join(errs...)
+}
+
+// MESI audits the coherence state across every cache attached to the bus: a
+// line may have at most one Modified-or-Exclusive owner, and an exclusive
+// owner excludes Shared copies elsewhere. A nil bus (coherence disabled) is
+// trivially consistent. Violations are reported in line-address order so the
+// output is deterministic.
+func MESI(b *cache.Bus) error {
+	if b == nil {
+		return nil
+	}
+	type owners struct{ m, e, s int }
+	lines := make(map[uint64]*owners)
+	for _, c := range b.Caches() {
+		for line, st := range c.Snapshot() {
+			o := lines[line]
+			if o == nil {
+				o = &owners{}
+				lines[line] = o
+			}
+			switch st {
+			case cache.Modified:
+				o.m++
+			case cache.Exclusive:
+				o.e++
+			case cache.Shared:
+				o.s++
+			}
+		}
+	}
+	bad := make([]uint64, 0)
+	for line, o := range lines {
+		if o.m+o.e > 1 || (o.m+o.e == 1 && o.s > 0) {
+			bad = append(bad, line)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+	var errs []error
+	for _, line := range bad {
+		o := lines[line]
+		errs = append(errs, fmt.Errorf(
+			"check: MESI: line %#x held by %d Modified, %d Exclusive, %d Shared owners",
+			line, o.m, o.e, o.s))
+	}
+	return errors.Join(errs...)
+}
+
+// TLBs audits one context's resident TLB entries against the live page table:
+// every valid entry must correspond to a current mapping of the same page-size
+// class that permits reads, and an entry carrying the W bit must map a page
+// that still permits writes. Queued shootdowns are delivered first (the
+// mailbox contract makes undelivered invalidations legal until the next
+// access, so the audit observes the post-delivery state). Call only while the
+// context is quiescent.
+func TLBs(ctx *machine.Context) error {
+	ctx.SettleForAudit()
+	pt := ctx.PageTable()
+	var errs []error
+	audit := func(name string, h *tlb.Hierarchy) {
+		h.VisitEntries(func(level int, size units.PageSize, e tlb.Entry) {
+			va := units.Addr(e.VPN) << size.Shift()
+			wr, err := pt.Translate(va)
+			if err != nil {
+				errs = append(errs, fmt.Errorf(
+					"check: ctx %d %s L%d: resident %s entry for va %#x has no live mapping: %w",
+					ctx.ID, name, level, size, va, err))
+				return
+			}
+			if wr.Entry.Size != size {
+				errs = append(errs, fmt.Errorf(
+					"check: ctx %d %s L%d: entry for va %#x cached as %s but the table maps it %s (missed shootdown on a size change)",
+					ctx.ID, name, level, va, size, wr.Entry.Size))
+				return
+			}
+			if wr.Entry.Prot&pagetable.ProtRead == 0 {
+				errs = append(errs, fmt.Errorf(
+					"check: ctx %d %s L%d: entry for va %#x maps a page with no read permission",
+					ctx.ID, name, level, va))
+			}
+			if e.Writable && wr.Entry.Prot&pagetable.ProtWrite == 0 {
+				errs = append(errs, fmt.Errorf(
+					"check: ctx %d %s L%d: entry for va %#x carries the W bit but the table revoked write permission",
+					ctx.ID, name, level, va))
+			}
+		})
+	}
+	audit("dtlb", ctx.DTLB())
+	audit("itlb", ctx.ITLB())
+	return errors.Join(errs...)
+}
+
+// TranslationCache audits the context's generation-stamped page-walk cache:
+// every slot stamped with the current table generation must hold exactly what
+// a fresh walk would return.
+func TranslationCache(ctx *machine.Context) error {
+	return ctx.AuditTranslationCache()
+}
+
+// All runs every audit over a quiescent machine: the counter conservation
+// laws over the sum of all contexts (and over each context individually,
+// since the laws hold per context too), the TLB and translation-cache
+// consistency of every context, and the MESI discipline on the bus if the
+// machine is coherent.
+func All(m *machine.Machine) error {
+	var errs []error
+	var agg profile.Counters
+	for _, ctx := range m.Contexts() {
+		agg.Add(&ctx.Ctr)
+		if err := Counters(ctx.Ctr); err != nil {
+			errs = append(errs, fmt.Errorf("ctx %d: %w", ctx.ID, err))
+		}
+		if err := TLBs(ctx); err != nil {
+			errs = append(errs, err)
+		}
+		if err := TranslationCache(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := Counters(agg); err != nil {
+		errs = append(errs, fmt.Errorf("aggregate: %w", err))
+	}
+	if err := MESI(m.Bus()); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

@@ -20,13 +20,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/hugetlbfs"
 	"hugeomp/internal/machine"
 	"hugeomp/internal/mem"
 	"hugeomp/internal/omp"
 	"hugeomp/internal/pagetable"
+	"hugeomp/internal/profile"
 	"hugeomp/internal/scash"
 	"hugeomp/internal/thp"
 	"hugeomp/internal/units"
@@ -87,7 +90,26 @@ type Config struct {
 	// Hugetlb selects the large-page allocation strategy (the paper
 	// preallocates; OnDemand is the ablation).
 	Hugetlb hugetlbfs.Mode
+
+	// HugePages sets the hugetlbfs pool size in 2 MB pages. 0 sizes the
+	// pool to fit SharedBytes (the paper's `echo N > nr_hugepages`
+	// configuration); NoHugePages models a host whose pool is empty. A pool
+	// that cannot back the shared region does not fail the run: the region
+	// degrades to 4 KB pages at the same virtual addresses, so the numerics
+	// are untouched and only translation costs shift (see System.Degraded).
+	HugePages int
+
+	// Fault, if non-nil, arms deterministic fault injection across every
+	// subsystem the system assembles: hugetlbfs reservation and pool
+	// exhaustion, transient page-table map failures, and THP allocation
+	// failure / pressure-triggered demotion.
+	Fault *faultinject.Plan
 }
+
+// NoHugePages is the Config.HugePages sentinel for an empty large-page pool
+// (`vm.nr_hugepages = 0`): the 2 MB policies run fully degraded on 4 KB
+// pages.
+const NoHugePages = -1
 
 // System is an assembled large-page-aware OpenMP system for one application
 // run.
@@ -103,6 +125,12 @@ type System struct {
 
 	// THP is the transparent-huge-page manager (PolicyTransparent only).
 	THP *thp.Manager
+
+	// Degraded reports that the 2 MB shared region fell back to 4 KB
+	// backing (pool empty, too small, or reservation failure — injected or
+	// real). The fallback preserves every virtual address, so kernels run
+	// unchanged; only the translation costs differ.
+	Degraded bool
 
 	codeAlloc *scash.Allocator
 	codeUsed  int64
@@ -129,6 +157,7 @@ func NewSystem(cfg Config) (*System, error) {
 	s.Machine = machine.New(cfg.Model)
 	s.Machine.Sharing = cfg.Sharing
 	s.Machine.AttachProcess(s.PT)
+	s.PT.SetFaultPlan(cfg.Fault)
 
 	// Text segment: 4 KB pages (the paper measures ITLB misses to be
 	// negligible and does not pursue large pages for code).
@@ -137,7 +166,7 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: code segment: %w", err)
 		}
-		if err := s.PT.Map(CodeBase+units.Addr(off), units.Size4K, pfn, pagetable.ProtRead); err != nil {
+		if err := s.PT.MapRetry(CodeBase+units.Addr(off), units.Size4K, pfn, pagetable.ProtRead); err != nil {
 			return nil, err
 		}
 	}
@@ -150,6 +179,7 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.space4K = sp
 		s.THP = thp.New(s.Phys, s.PT, nil)
+		s.THP.SetFaultPlan(cfg.Fault)
 		if err := s.THP.Register(DataBase, cfg.SharedBytes); err != nil {
 			return nil, fmt.Errorf("core: thp region: %w", err)
 		}
@@ -160,20 +190,9 @@ func NewSystem(cfg Config) (*System, error) {
 	need4K := cfg.Policy == Policy4K || cfg.Policy == PolicyMixed
 
 	if need2M {
-		pages := int((cfg.SharedBytes + units.PageSize2M - 1) / units.PageSize2M)
-		fs, err := hugetlbfs.Mount(s.Phys, pages, cfg.Hugetlb)
-		if err != nil {
-			return nil, fmt.Errorf("core: hugetlbfs: %w", err)
+		if err := s.mount2M(cfg); err != nil {
+			return nil, err
 		}
-		s.FS = fs
-		sp, err := scash.NewSpace(scash.Config{
-			Phys: s.Phys, PT: s.PT, Base: HugeBase,
-			Size: cfg.SharedBytes, PageSize: units.Size2M, Hugetlb: fs,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: 2MB space: %w", err)
-		}
-		s.space2M = sp
 	}
 	if need4K {
 		sp, err := scash.NewSpace(scash.Config{
@@ -186,6 +205,79 @@ func NewSystem(cfg Config) (*System, error) {
 		s.space4K = sp
 	}
 	return s, nil
+}
+
+// mount2M backs the HugeBase region with 2 MB pages from a hugetlbfs pool,
+// degrading to 4 KB backing at the same addresses when the pool cannot cover
+// it. Only capacity-class failures degrade — an empty or undersized pool, a
+// reservation that could not find contiguous memory (real or injected), or a
+// map whose transient-failure retries ran dry; anything else (overlap,
+// misalignment) is a real bug and propagates.
+func (s *System) mount2M(cfg Config) error {
+	need := int((cfg.SharedBytes + units.PageSize2M - 1) / units.PageSize2M)
+	pool := need
+	switch {
+	case cfg.HugePages == NoHugePages:
+		pool = 0
+	case cfg.HugePages > 0:
+		pool = cfg.HugePages
+	}
+	if pool > 0 {
+		err := func() error {
+			fs, err := hugetlbfs.MountWithFault(s.Phys, pool, cfg.Hugetlb, cfg.Fault)
+			if err != nil {
+				return err
+			}
+			sp, err := scash.NewSpace(scash.Config{
+				Phys: s.Phys, PT: s.PT, Base: HugeBase,
+				Size: cfg.SharedBytes, PageSize: units.Size2M, Hugetlb: fs,
+			})
+			if err != nil {
+				// Return the pool's frames to physical memory: the
+				// degraded region allocates 4 KB frames instead.
+				_ = fs.Remove(fmt.Sprintf("scash-%#x", HugeBase))
+				_ = fs.Resize(0)
+				return err
+			}
+			s.FS = fs
+			s.space2M = sp
+			return nil
+		}()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, mem.ErrOutOfMemory) && !errors.Is(err, hugetlbfs.ErrNoSpace) &&
+			!errors.Is(err, pagetable.ErrTransient) {
+			return fmt.Errorf("core: 2MB region: %w", err)
+		}
+	}
+	sp, err := scash.NewSpace(scash.Config{
+		Phys: s.Phys, PT: s.PT, Base: HugeBase,
+		Size: cfg.SharedBytes, PageSize: units.Size4K,
+	})
+	if err != nil {
+		return fmt.Errorf("core: degraded 4KB region: %w", err)
+	}
+	s.space2M = sp
+	s.Degraded = true
+	return nil
+}
+
+// OSCounters aggregates the run's OS-level degraded-path events: huge-page
+// fallbacks, THP demotions and broken reservations, and absorbed transient
+// map failures. DSM refetch counts live with the DSM itself (cluster mode);
+// an intra-node System reports zero there.
+func (s *System) OSCounters() profile.OSCounters {
+	var o profile.OSCounters
+	o.PTMapRetries = s.PT.MapRetries()
+	if s.Degraded {
+		o.HugePageFallbacks = 1
+	}
+	if s.THP != nil {
+		o.THPDemotions = s.THP.Stats.Demotions
+		o.BrokenReservations = s.THP.Stats.BrokenReservations
+	}
+	return o
 }
 
 // spaceFor applies the page policy to one allocation.
@@ -267,7 +359,7 @@ func (s *System) NewRT(nthreads int) (*omp.RT, error) {
 		return nil, err
 	}
 	hint := units.Size4K
-	if s.Cfg.Policy == Policy2M {
+	if s.Cfg.Policy == Policy2M && !s.Degraded {
 		hint = units.Size2M
 	}
 	for _, c := range rt.Contexts() {

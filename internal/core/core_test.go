@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/machine"
 	"hugeomp/internal/omp"
 	"hugeomp/internal/units"
@@ -268,5 +269,69 @@ func TestPolicyTransparentSharedAcrossThreads(t *testing.T) {
 	total := rt.TotalCounters()
 	if total.SoftFaults == 0 {
 		t.Error("no faults recorded")
+	}
+}
+
+func TestInjectedReserveFailureDegradesTo4K(t *testing.T) {
+	plan := faultinject.New(0x5eed)
+	plan.Enable(faultinject.SiteHugetlbReserve, 1) // every reservation fails
+	s, err := NewSystem(Config{
+		Model:       machine.Opteron270(),
+		Policy:      Policy2M,
+		PhysBytes:   1 * units.GB,
+		SharedBytes: 64 * units.MB,
+		Fault:       plan,
+	})
+	if err != nil {
+		t.Fatalf("reservation failure must degrade, not fail: %v", err)
+	}
+	if !s.Degraded {
+		t.Fatal("system not marked Degraded")
+	}
+	if s.FS != nil {
+		t.Error("degraded system kept a hugetlbfs mount")
+	}
+	// The region is alive at the same base, on 4 KB pages.
+	a := s.MustArray("x", 1024)
+	if a.Base < HugeBase {
+		t.Errorf("degraded array at %#x, below HugeBase", a.Base)
+	}
+	wr, err := s.PT.Translate(a.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Entry.Size != units.Size4K {
+		t.Errorf("degraded backing is %s, want 4KB", wr.Entry.Size)
+	}
+	if got := s.OSCounters().HugePageFallbacks; got != 1 {
+		t.Errorf("HugePageFallbacks = %d, want 1", got)
+	}
+	if s.DataPageSize(1*units.MB) != units.Size4K {
+		t.Error("DataPageSize still reports 2MB after degradation")
+	}
+}
+
+func TestNoHugePagesSentinel(t *testing.T) {
+	s, err := NewSystem(Config{
+		Model:       machine.Opteron270(),
+		Policy:      PolicyMixed,
+		PhysBytes:   1 * units.GB,
+		SharedBytes: 64 * units.MB,
+		HugePages:   NoHugePages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Degraded {
+		t.Fatal("HugePages = NoHugePages did not degrade")
+	}
+	// Mixed policy still splits by size; the "2MB" side is 4 KB-backed.
+	big := s.MustArray("big", int(MixedThreshold/8)+1)
+	wr, err := s.PT.Translate(big.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Entry.Size != units.Size4K || big.Base < HugeBase {
+		t.Errorf("big allocation at %#x size %s", big.Base, wr.Entry.Size)
 	}
 }

@@ -1,0 +1,190 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNilPlanIsDisabled: every decision and accessor on a nil plan must be a
+// no-op — injection points guard the fast path with exactly this.
+func TestNilPlanIsDisabled(t *testing.T) {
+	var p *Plan
+	for i := 0; i < 100; i++ {
+		if p.Should(SiteHugetlbTake) || p.ShouldKey(SiteTHPAlloc, uint64(i)) {
+			t.Fatal("nil plan fired")
+		}
+	}
+	if p.Count(SitePTMap) != 0 || p.Injected(SitePTMap) != 0 || p.TotalInjected() != 0 {
+		t.Fatal("nil plan kept counts")
+	}
+	if p.Seed() != 0 {
+		t.Fatal("nil plan seed")
+	}
+	if p.String() != "faultplan(disabled)" {
+		t.Fatalf("nil plan string = %q", p.String())
+	}
+}
+
+// TestUnarmedSiteNeverFires: arming one site must not leak into others.
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	p := New(7).Enable(SiteMPILoss, 1)
+	for i := 0; i < 100; i++ {
+		if p.Should(SiteHugetlbTake) {
+			t.Fatal("unarmed site fired")
+		}
+	}
+	if p.Count(SiteHugetlbTake) != 0 {
+		t.Fatal("unarmed site counted")
+	}
+}
+
+// TestDeterministicReplay: two plans with the same seed and rules make the
+// same decision sequence — the replayability the chaos harness depends on.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []bool {
+		p := New(0xdecaf).Enable(SiteTHPAlloc, 0.3).Enable(SitePTMap, 0.1)
+		var out []bool
+		for i := 0; i < 500; i++ {
+			out = append(out, p.ShouldKey(SiteTHPAlloc, uint64(i)*0x200000))
+			out = append(out, p.Should(SitePTMap))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across replays", i)
+		}
+	}
+}
+
+// TestSeedsDiffer: different seeds must give different decision streams
+// (overwhelmingly likely at 500 draws of rate 0.5).
+func TestSeedsDiffer(t *testing.T) {
+	draw := func(seed uint64) []bool {
+		p := New(seed).Enable(SitePTMap, 0.5)
+		var out []bool
+		for i := 0; i < 500; i++ {
+			out = append(out, p.Should(SitePTMap))
+		}
+		return out
+	}
+	a, b := draw(1), draw(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical decision streams")
+	}
+}
+
+// TestRateExtremes: rate 1 always fires, rate 0 never fires.
+func TestRateExtremes(t *testing.T) {
+	always := New(3).Enable(SiteMPILoss, 1)
+	never := New(3).Enable(SiteMPILoss, 0)
+	for i := 0; i < 200; i++ {
+		if !always.Should(SiteMPILoss) {
+			t.Fatal("rate 1 did not fire")
+		}
+		if never.Should(SiteMPILoss) {
+			t.Fatal("rate 0 fired")
+		}
+	}
+	if always.Injected(SiteMPILoss) != 200 || never.Injected(SiteMPILoss) != 0 {
+		t.Fatalf("injected counts: %d, %d", always.Injected(SiteMPILoss), never.Injected(SiteMPILoss))
+	}
+}
+
+// TestRateApproximation: at rate r, roughly r·n of n occurrence draws fire.
+func TestRateApproximation(t *testing.T) {
+	p := New(99).Enable(SiteHugetlbTake, 0.25)
+	n := 10000
+	for i := 0; i < n; i++ {
+		p.Should(SiteHugetlbTake)
+	}
+	got := float64(p.Injected(SiteHugetlbTake)) / float64(n)
+	if got < 0.2 || got > 0.3 {
+		t.Fatalf("rate 0.25 fired at %.3f", got)
+	}
+}
+
+// TestEnableAt: exact-occurrence arming fires at precisely those indices.
+func TestEnableAt(t *testing.T) {
+	p := New(1).EnableAt(SiteHugetlbReserve, 2, 5)
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if p.Should(SiteHugetlbReserve) {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 5 {
+		t.Fatalf("fired at %v, want [2 5]", fired)
+	}
+	if p.Count(SiteHugetlbReserve) != 10 || p.Injected(SiteHugetlbReserve) != 2 {
+		t.Fatalf("count=%d injected=%d", p.Count(SiteHugetlbReserve), p.Injected(SiteHugetlbReserve))
+	}
+}
+
+// TestKeyedDecisionsScheduleIndependent: ShouldKey ignores call order — the
+// property that keeps concurrent THP faulting deterministic.
+func TestKeyedDecisionsScheduleIndependent(t *testing.T) {
+	decide := func(keys []uint64) map[uint64]bool {
+		p := New(42).Enable(SiteTHPAlloc, 0.5)
+		out := make(map[uint64]bool)
+		for _, k := range keys {
+			out[k] = p.ShouldKey(SiteTHPAlloc, k)
+		}
+		return out
+	}
+	fwd := decide([]uint64{10, 20, 30, 40, 50})
+	rev := decide([]uint64{50, 40, 30, 20, 10})
+	for k, v := range fwd {
+		if rev[k] != v {
+			t.Fatalf("key %d decision depends on call order", k)
+		}
+	}
+}
+
+// TestConcurrentDecisions: concurrent keyed decisions race-free and agree
+// with the sequential result (run under -race in make check).
+func TestConcurrentDecisions(t *testing.T) {
+	p := New(11).Enable(SiteTHPAlloc, 0.4)
+	want := make([]bool, 256)
+	ref := New(11).Enable(SiteTHPAlloc, 0.4)
+	for i := range want {
+		want[i] = ref.ShouldKey(SiteTHPAlloc, uint64(i))
+	}
+	got := make([]bool, len(want))
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = p.ShouldKey(SiteTHPAlloc, uint64(i))
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key %d: concurrent decision differs from sequential", i)
+		}
+	}
+	if p.Count(SiteTHPAlloc) != uint64(len(want)) {
+		t.Fatalf("count = %d", p.Count(SiteTHPAlloc))
+	}
+}
+
+// TestStringReport: the summary names armed sites with fired/total counts.
+func TestStringReport(t *testing.T) {
+	p := New(0x5eed).Enable(SiteMPILoss, 1)
+	p.Should(SiteMPILoss)
+	p.Should(SiteMPILoss)
+	want := "faultplan(seed=0x5eed mpi/loss:2/2)"
+	if p.String() != want {
+		t.Fatalf("String() = %q, want %q", p.String(), want)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/mem"
 	"hugeomp/internal/pagetable"
 	"hugeomp/internal/units"
@@ -27,6 +28,10 @@ var (
 	ErrExists    = errors.New("hugetlbfs: file exists")
 	ErrNotExist  = errors.New("hugetlbfs: file does not exist")
 	ErrBadLength = errors.New("hugetlbfs: length must be a positive multiple of 2MB")
+	// ErrDoubleReserve flags a second Map of an already-mapped file — the
+	// double-reserve bug class that used to silently install overlapping
+	// translations or fail half-way with an ErrOverlap from the page table.
+	ErrDoubleReserve = errors.New("hugetlbfs: file already mapped (double reserve)")
 )
 
 // Mode selects the allocation strategy.
@@ -51,6 +56,7 @@ type FS struct {
 	quota int      // max pages this mount may use (both modes)
 	used  int
 	files map[string]*File
+	fault *faultinject.Plan // nil = no injection
 }
 
 // File is a hugetlbfs file: a sequence of 2 MB frames.
@@ -58,12 +64,20 @@ type File struct {
 	fs     *FS
 	name   string
 	frames []uint64
+	mapped bool // guards against double-reserve (second Map)
 }
 
 // Mount creates a hugetlbfs over phys with a quota of pages 2 MB pages.
 // In Preallocate mode every frame is reserved immediately; Mount fails if
 // physical memory cannot satisfy the reservation.
 func Mount(phys *mem.PhysMem, pages int, mode Mode) (*FS, error) {
+	return MountWithFault(phys, pages, mode, nil)
+}
+
+// MountWithFault is Mount with a fault plan armed from the first reservation
+// on: SiteHugetlbReserve can fail preallocation (as if another job grabbed
+// the contiguous memory first), SiteHugetlbTake can exhaust the pool mid-run.
+func MountWithFault(phys *mem.PhysMem, pages int, mode Mode, plan *faultinject.Plan) (*FS, error) {
 	if pages <= 0 {
 		return nil, fmt.Errorf("hugetlbfs: non-positive pool size %d", pages)
 	}
@@ -72,11 +86,12 @@ func Mount(phys *mem.PhysMem, pages int, mode Mode) (*FS, error) {
 		mode:  mode,
 		quota: pages,
 		files: make(map[string]*File),
+		fault: plan,
 	}
 	if mode == Preallocate {
 		fs.pool = make([]uint64, 0, pages)
 		for i := 0; i < pages; i++ {
-			pfn, err := phys.Alloc2M()
+			pfn, err := fs.reserveFrame()
 			if err != nil {
 				// Roll back: a partial reservation is useless.
 				for _, p := range fs.pool {
@@ -92,6 +107,23 @@ func Mount(phys *mem.PhysMem, pages int, mode Mode) (*FS, error) {
 
 // Mode returns the allocation strategy of the mount.
 func (fs *FS) Mode() Mode { return fs.mode }
+
+// SetFaultPlan arms (or, with nil, disarms) fault injection for this mount.
+func (fs *FS) SetFaultPlan(p *faultinject.Plan) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.fault = p
+}
+
+// reserveFrame allocates one 2 MB frame from physical memory for the pool,
+// subject to SiteHugetlbReserve injection (emulating contiguous-memory
+// allocation failure during `echo N > nr_hugepages`).
+func (fs *FS) reserveFrame() (uint64, error) {
+	if fs.fault.Should(faultinject.SiteHugetlbReserve) {
+		return 0, fmt.Errorf("hugetlbfs: reservation: %w (injected)", mem.ErrOutOfMemory)
+	}
+	return fs.phys.Alloc2M()
+}
 
 // Resize changes the pool quota to pages, the analogue of writing
 // /proc/sys/vm/nr_hugepages at runtime. Growing a preallocated mount
@@ -111,7 +143,7 @@ func (fs *FS) Resize(pages int) error {
 	}
 	have := fs.used + len(fs.pool)
 	for have < pages {
-		pfn, err := fs.phys.Alloc2M()
+		pfn, err := fs.reserveFrame()
 		if err != nil {
 			fs.quota = have
 			return fmt.Errorf("hugetlbfs: resize stalled at %d/%d pages: %w", have, pages, err)
@@ -146,6 +178,10 @@ func (fs *FS) UsedPages() int {
 func (fs *FS) takeFrame() (uint64, error) {
 	if fs.used >= fs.quota {
 		return 0, ErrNoSpace
+	}
+	// Mid-run exhaustion: another consumer of the pool got there first.
+	if fs.fault.Should(faultinject.SiteHugetlbTake) {
+		return 0, fmt.Errorf("%w (injected)", ErrNoSpace)
 	}
 	if fs.mode == Preallocate {
 		pfn := fs.pool[len(fs.pool)-1]
@@ -235,15 +271,47 @@ func (f *File) Map(pt *pagetable.Table, va units.Addr, prot pagetable.Prot) erro
 	if uint64(va)%uint64(units.PageSize2M) != 0 {
 		return fmt.Errorf("hugetlbfs: map address %#x not 2MB aligned", va)
 	}
+	f.fs.mu.Lock()
+	if f.mapped {
+		f.fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDoubleReserve, f.name)
+	}
+	f.mapped = true
+	f.fs.mu.Unlock()
 	for i, pfn := range f.frames {
 		pva := va + units.Addr(int64(i)*units.PageSize2M)
-		if err := pt.Map(pva, units.Size2M, pfn, prot); err != nil {
-			// Unwind partial mapping.
-			for j := 0; j < i; j++ {
-				_, _ = pt.Unmap(va+units.Addr(int64(j)*units.PageSize2M), units.Size2M)
+		if err := pt.MapRetry(pva, units.Size2M, pfn, prot); err != nil {
+			// Unwind the partial mapping. An unwind failure means the page
+			// table and the file disagree about what this call installed —
+			// surface it rather than swallowing it.
+			for j := i - 1; j >= 0; j-- {
+				if _, uerr := pt.Unmap(va+units.Addr(int64(j)*units.PageSize2M), units.Size2M); uerr != nil {
+					err = errors.Join(err, fmt.Errorf("hugetlbfs: unwinding page %d: %w", j, uerr))
+				}
 			}
+			f.fs.mu.Lock()
+			f.mapped = false
+			f.fs.mu.Unlock()
 			return fmt.Errorf("hugetlbfs: map %q page %d: %w", f.name, i, err)
 		}
 	}
 	return nil
+}
+
+// Unmap removes the file's pages from pt, releasing the double-reserve guard
+// so the file can be mapped elsewhere.
+func (f *File) Unmap(pt *pagetable.Table, va units.Addr) error {
+	if uint64(va)%uint64(units.PageSize2M) != 0 {
+		return fmt.Errorf("hugetlbfs: unmap address %#x not 2MB aligned", va)
+	}
+	var err error
+	for i := range f.frames {
+		if _, uerr := pt.Unmap(va+units.Addr(int64(i)*units.PageSize2M), units.Size2M); uerr != nil {
+			err = errors.Join(err, fmt.Errorf("hugetlbfs: unmap %q page %d: %w", f.name, i, uerr))
+		}
+	}
+	f.fs.mu.Lock()
+	f.mapped = false
+	f.fs.mu.Unlock()
+	return err
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/mem"
 	"hugeomp/internal/pagetable"
 	"hugeomp/internal/units"
@@ -211,5 +212,118 @@ func TestResizeStallsWhenPhysicalMemoryFragmented(t *testing.T) {
 	// back lower than what was written).
 	if fs.FreePages() != 2 {
 		t.Errorf("free = %d, want the 2 frames it could keep", fs.FreePages())
+	}
+}
+
+// TestDoubleReserveTyped: a second Map of a mapped file fails with the typed
+// ErrDoubleReserve, and Unmap releases the guard so the file can move.
+func TestDoubleReserveTyped(t *testing.T) {
+	phys := mem.New(32 * units.MB)
+	fs, err := Mount(phys, 4, Preallocate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("a", 2*units.PageSize2M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pagetable.New()
+	if err := f.Map(pt, 0, pagetable.ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Map(pt, units.Addr(16*units.PageSize2M), pagetable.ProtRW); !errors.Is(err, ErrDoubleReserve) {
+		t.Fatalf("second Map: want ErrDoubleReserve, got %v", err)
+	}
+	if err := f.Unmap(pt, 0); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Mapped2M() != 0 {
+		t.Fatalf("Mapped2M after Unmap = %d", pt.Mapped2M())
+	}
+	if err := f.Map(pt, units.Addr(16*units.PageSize2M), pagetable.ProtRW); err != nil {
+		t.Fatalf("re-Map after Unmap: %v", err)
+	}
+}
+
+// TestMapFailureReleasesReserveGuard: a Map that fails mid-way (page-table
+// overlap) unwinds cleanly and releases the double-reserve guard.
+func TestMapFailureReleasesReserveGuard(t *testing.T) {
+	phys := mem.New(32 * units.MB)
+	fs, err := Mount(phys, 4, Preallocate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("a", 2*units.PageSize2M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pagetable.New()
+	// Occupy the second slot so page 1 of the file collides.
+	if err := pt.Map(units.Addr(units.PageSize2M), units.Size2M, 4096, pagetable.ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Map(pt, 0, pagetable.ProtRW); !errors.Is(err, pagetable.ErrOverlap) {
+		t.Fatalf("want ErrOverlap, got %v", err)
+	}
+	if pt.Mapped2M() != 1 {
+		t.Fatalf("unwind left %d 2M mappings, want 1 (the blocker)", pt.Mapped2M())
+	}
+	if _, err := pt.Unmap(units.Addr(units.PageSize2M), units.Size2M); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Map(pt, 0, pagetable.ProtRW); err != nil {
+		t.Fatalf("Map after clearing blocker: %v (guard not released?)", err)
+	}
+}
+
+// TestInjectedTakeExhaustion: SiteHugetlbTake makes Create fail with the
+// typed ErrNoSpace even though the pool has quota left.
+func TestInjectedTakeExhaustion(t *testing.T) {
+	phys := mem.New(64 * units.MB)
+	fs, err := MountWithFault(phys, 16, Preallocate,
+		faultinject.New(5).EnableAt(faultinject.SiteHugetlbTake, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("a", 2*units.PageSize2M); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want injected ErrNoSpace, got %v", err)
+	}
+	if fs.UsedPages() != 0 {
+		t.Fatalf("failed create leaked %d pages", fs.UsedPages())
+	}
+	// The fault fired exactly once (occurrence 1); a retry succeeds.
+	if _, err := fs.Create("a", 2*units.PageSize2M); err != nil {
+		t.Fatalf("create after injected exhaustion: %v", err)
+	}
+}
+
+// TestInjectedReserveFailure: SiteHugetlbReserve fails preallocation at
+// mount time and rolls back cleanly.
+func TestInjectedReserveFailure(t *testing.T) {
+	phys := mem.New(64 * units.MB)
+	_, err := MountWithFault(phys, 8, Preallocate,
+		faultinject.New(5).EnableAt(faultinject.SiteHugetlbReserve, 3))
+	if !errors.Is(err, mem.ErrOutOfMemory) {
+		t.Fatalf("want injected ErrOutOfMemory, got %v", err)
+	}
+	if phys.Used2M() != 0 {
+		t.Fatalf("failed mount leaked %d frames", phys.Used2M())
+	}
+}
+
+// TestInjectedResizeStall: SiteHugetlbReserve stalls a Resize growth; the
+// quota settles at what was actually reserved.
+func TestInjectedResizeStall(t *testing.T) {
+	phys := mem.New(64 * units.MB)
+	fs, err := Mount(phys, 2, Preallocate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaultPlan(faultinject.New(5).EnableAt(faultinject.SiteHugetlbReserve, 2))
+	if err := fs.Resize(8); !errors.Is(err, mem.ErrOutOfMemory) {
+		t.Fatalf("want injected resize stall, got %v", err)
+	}
+	if fs.FreePages() != 4 {
+		t.Fatalf("FreePages after stalled resize = %d, want 4 (2 + 2 grown before the fault)", fs.FreePages())
 	}
 }

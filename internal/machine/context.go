@@ -902,6 +902,59 @@ func (c *Context) FlushTLBs() {
 	c.shootFlag.Store(true)
 }
 
+// PageTable exposes the process page table this context translates through
+// (the post-run consistency audits in internal/check walk it).
+func (c *Context) PageTable() *pagetable.Table { return c.pt }
+
+// SettleForAudit applies any queued TLB shootdowns, putting the context in
+// the state its next access would observe. The mailbox contract is "applied
+// at the next access", so undelivered invalidations are legal; a consistency
+// audit must deliver them first or it would flag that legal window. Call only
+// while the context is quiescent.
+func (c *Context) SettleForAudit() {
+	c.lockCore()
+	if c.shootFlag.Load() {
+		c.drainShootdowns()
+	}
+	c.unlockCore()
+}
+
+// AuditTranslationCache re-validates every generation-current slot of the
+// per-context translation cache against the live page table. The cache's
+// validity protocol promises that a slot stamped with the current table
+// generation holds exactly what a fresh walk would return; this audit proves
+// it by re-walking. Stale or empty slots are legal (walk ignores them) and
+// are skipped. Call only while the context is quiescent (no access in
+// flight).
+func (c *Context) AuditTranslationCache() error {
+	gen := c.pt.Gen()
+	for i := range c.xlat {
+		slot := &c.xlat[i]
+		if slot.gen == 0 || slot.gen != gen {
+			continue
+		}
+		va := units.Addr(slot.vpn) << units.PageShift4K
+		wr, err := c.pt.Translate(va)
+		if err != nil {
+			return fmt.Errorf("machine: context %d xlat slot %d: cached vpn %#x (gen %d) no longer translates: %w",
+				c.ID, i, slot.vpn, slot.gen, err)
+		}
+		if wr != slot.wr {
+			return fmt.Errorf("machine: context %d xlat slot %d: cached walk for vpn %#x is %+v but the table says %+v",
+				c.ID, i, slot.vpn, slot.wr, wr)
+		}
+	}
+	return nil
+}
+
+// ForceTranslationCacheEntry overwrites the translation-cache slot for vpn
+// with the given walk result, stamped current. It exists so internal/check's
+// tests can corrupt the cache and prove AuditTranslationCache is not
+// vacuously green; simulation code must never call it.
+func (c *Context) ForceTranslationCacheEntry(vpn uint64, wr pagetable.WalkResult) {
+	c.xlat[vpn&(xlatSlots-1)] = xlatEntry{vpn: vpn, gen: c.pt.Gen(), wr: wr}
+}
+
 // drainShootdowns applies queued invalidations. Caller holds the core lock
 // in true-sharing mode.
 func (c *Context) drainShootdowns() {

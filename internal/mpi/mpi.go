@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"hugeomp/internal/core"
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/machine"
 	"hugeomp/internal/omp"
 	"hugeomp/internal/shmem"
@@ -38,6 +39,14 @@ type World struct {
 	staging []units.Addr     // staging[from*n+to]
 	payload []chan []float64 // out-of-band payload movement, same indexing
 	n       int
+
+	fault *faultinject.Plan // nil = no injection
+	// Per-ordered-pair control-message sequence numbers. sendSeq[p] is
+	// touched only by the sending rank's goroutine and recvSeq[p] only by
+	// the receiving rank's, so they need no locks — and they key fault
+	// decisions to the message itself, independent of goroutine scheduling.
+	sendSeq []uint64
+	recvSeq []uint64
 }
 
 // NewWorld builds an n-rank world on sys. Staging buffers are allocated
@@ -55,6 +64,8 @@ func NewWorld(sys *core.System, n int) (*World, error) {
 		staging: make([]units.Addr, n*n),
 		payload: make([]chan []float64, n*n),
 		n:       n,
+		sendSeq: make([]uint64, n*n),
+		recvSeq: make([]uint64, n*n),
 	}
 	for i := range w.staging {
 		addr, err := sys.Malloc(StagingBytes)
@@ -69,6 +80,10 @@ func NewWorld(sys *core.System, n int) (*World, error) {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
+
+// SetFaultPlan arms (or, with nil, disarms) message-loss/duplication
+// injection. Call before Run.
+func (w *World) SetFaultPlan(p *faultinject.Plan) { w.fault = p }
 
 // RT exposes the underlying runtime (wall clock, counters).
 func (w *World) RT() *omp.RT { return w.rt }
@@ -93,6 +108,56 @@ func (w *World) Run(body func(r *Rank)) {
 
 func (w *World) pair(from, to int) int { return from*w.n + to }
 
+// maxCtlRetries bounds the resend loop for a lost control message. Even a
+// plan firing at rate 0.5 leaves a ~0.4% chance of exhausting 8 retries; the
+// final send always goes through (the simulated network never hard-fails),
+// so the bound caps cost, not correctness.
+const maxCtlRetries = 8
+
+// ctlSend posts one control message for pair p, simulating loss under an
+// armed SiteMPILoss plan: each lost attempt charges a timeout with
+// exponential backoff before the resend. Numerics are untouched — the real
+// channel send always happens exactly once.
+func (r *Rank) ctlSend(p int, ch *shmem.Channel, data []byte, what string) {
+	w := r.w
+	costs := w.rt.Machine().Model.Costs
+	seq := w.sendSeq[p]
+	w.sendSeq[p]++
+	key := uint64(p)<<32 | seq&0xffffffff
+	for attempt := uint64(0); attempt < maxCtlRetries; attempt++ {
+		if !w.fault.ShouldKey(faultinject.SiteMPILoss, key^(attempt+1)*0x9e3779b97f4a7c15) {
+			break
+		}
+		// Timeout waiting for the ack that never came, then back off and
+		// resend: 2^attempt message latencies, doubling per round.
+		r.C.Wait(costs.MsgCyc << attempt)
+		r.C.Ctr.MsgRetries++
+	}
+	if err := ch.Send(data); err != nil {
+		panic(fmt.Sprintf("mpi: %s send: %v", what, err))
+	}
+	r.C.Wait(costs.MsgCyc)
+}
+
+// ctlRecv receives one control message for pair p, simulating duplicate
+// delivery under an armed SiteMPIDup plan: the duplicate is recognised by
+// its repeated sequence number and dropped at the cost of one extra message
+// latency.
+func (r *Rank) ctlRecv(p int, ch *shmem.Channel, buf []byte) int {
+	w := r.w
+	costs := w.rt.Machine().Model.Costs
+	seq := w.recvSeq[p]
+	w.recvSeq[p]++
+	key := uint64(p)<<32 | seq&0xffffffff
+	n := ch.Recv(buf)
+	r.C.Wait(costs.MsgCyc)
+	if w.fault.ShouldKey(faultinject.SiteMPIDup, key) {
+		r.C.Wait(costs.MsgCyc)
+		r.C.Ctr.MsgDups++
+	}
+	return n
+}
+
 // Send transmits elements [lo, hi) of arr to rank `to`. The transfer is
 // pipelined through the shared staging buffer: per fragment the sender
 // streams the source (read) and the staging area (write) and posts a
@@ -104,7 +169,6 @@ func (r *Rank) Send(to int, arr *core.Array, lo, hi int) {
 	w := r.w
 	p := w.pair(r.ID, to)
 	ch := w.mesh.Chan(r.ID, to)
-	costs := w.rt.Machine().Model.Costs
 	fragElems := int(StagingBytes / 8)
 	for base := lo; base < hi; base += fragElems {
 		end := base + fragElems
@@ -118,10 +182,7 @@ func (r *Rank) Send(to int, arr *core.Array, lo, hi int) {
 		frag := make([]float64, end-base)
 		copy(frag, arr.Data[base:end])
 		w.payload[p] <- frag
-		if err := ch.Send([]byte{1}); err != nil {
-			panic(fmt.Sprintf("mpi: control send: %v", err))
-		}
-		r.C.Wait(costs.MsgCyc)
+		r.ctlSend(p, ch, []byte{1}, "control")
 	}
 }
 
@@ -133,7 +194,6 @@ func (r *Rank) Recv(from int, arr *core.Array, lo, hi int) {
 	w := r.w
 	p := w.pair(from, r.ID)
 	ch := w.mesh.Chan(from, r.ID)
-	costs := w.rt.Machine().Model.Costs
 	var ctl [8]byte
 	fragElems := int(StagingBytes / 8)
 	for base := lo; base < hi; base += fragElems {
@@ -141,8 +201,7 @@ func (r *Rank) Recv(from int, arr *core.Array, lo, hi int) {
 		if end > hi {
 			end = hi
 		}
-		ch.Recv(ctl[:])
-		r.C.Wait(costs.MsgCyc)
+		r.ctlRecv(p, ch, ctl[:])
 		// Stream staging out, destination in.
 		r.C.AccessRange(w.staging[p], end-base, 8, false)
 		arr.StoreRange(r.C, base, end)
@@ -166,17 +225,12 @@ func (r *Rank) SendRecv(partner int, send *core.Array, slo, shi int, recv *core.
 // Barrier is a dissemination barrier across the world.
 func (r *Rank) Barrier() {
 	w := r.w
-	costs := w.rt.Machine().Model.Costs
 	var buf [8]byte
 	for round := 1; round < w.n; round <<= 1 {
 		to := (r.ID + round) % w.n
 		from := (r.ID - round + w.n) % w.n
-		if err := w.mesh.Chan(r.ID, to).Send([]byte{byte(round)}); err != nil {
-			panic(fmt.Sprintf("mpi: barrier send: %v", err))
-		}
-		r.C.Wait(costs.MsgCyc)
-		w.mesh.Chan(from, r.ID).Recv(buf[:])
-		r.C.Wait(costs.MsgCyc)
+		r.ctlSend(w.pair(r.ID, to), w.mesh.Chan(r.ID, to), []byte{byte(round)}, "barrier")
+		r.ctlRecv(w.pair(from, r.ID), w.mesh.Chan(from, r.ID), buf[:])
 	}
 }
 
@@ -188,19 +242,14 @@ func (r *Rank) Allreduce(v float64) float64 {
 	if w.n&(w.n-1) != 0 {
 		panic(fmt.Sprintf("mpi: Allreduce requires a power-of-two world, have %d", w.n))
 	}
-	costs := w.rt.Machine().Model.Costs
 	var buf [16]byte
 	for round := 1; round < w.n; round <<= 1 {
 		to := (r.ID + round) % w.n
 		from := (r.ID - round + w.n) % w.n
 		var out [8]byte
 		putFloat(out[:], v)
-		if err := w.mesh.Chan(r.ID, to).Send(out[:]); err != nil {
-			panic(fmt.Sprintf("mpi: allreduce send: %v", err))
-		}
-		r.C.Wait(costs.MsgCyc)
-		n := w.mesh.Chan(from, r.ID).Recv(buf[:])
-		r.C.Wait(costs.MsgCyc)
+		r.ctlSend(w.pair(r.ID, to), w.mesh.Chan(r.ID, to), out[:], "allreduce")
+		n := r.ctlRecv(w.pair(from, r.ID), w.mesh.Chan(from, r.ID), buf[:])
 		v += getFloat(buf[:n])
 	}
 	return v

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hugeomp/internal/core"
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/machine"
 	"hugeomp/internal/units"
 )
@@ -147,5 +148,82 @@ func TestLargePagesHelpMessagePath(t *testing.T) {
 	}
 	if s2 > s4 {
 		t.Errorf("2M pages slower on the message path: %v > %v", s2, s4)
+	}
+}
+
+// TestInjectedLossAndDupOnlyShiftCycles: with loss and duplication armed,
+// transfers still deliver byte-identical data; retries/dups are counted and
+// cost cycles; and the same seed reproduces the same counters.
+func TestInjectedLossAndDupOnlyShiftCycles(t *testing.T) {
+	const n = 80000 // ~10 staging fragments, enough draws for both sites
+	run := func(seed uint64, arm bool) ([]float64, uint64, uint64, uint64) {
+		w, sys := world(t, core.Policy4K, 2)
+		if arm {
+			w.SetFaultPlan(faultinject.New(seed).
+				Enable(faultinject.SiteMPILoss, 0.5).
+				Enable(faultinject.SiteMPIDup, 0.5))
+		}
+		src := sys.MustArray("src", n)
+		dst := sys.MustArray("dst", n)
+		for i := range src.Data {
+			src.Data[i] = float64(i) * 1.5
+		}
+		w.Run(func(r *Rank) {
+			switch r.ID {
+			case 0:
+				r.Send(1, src, 0, n)
+			case 1:
+				r.Recv(0, dst, 0, n)
+			}
+		})
+		total := w.RT().TotalCounters()
+		out := make([]float64, n)
+		copy(out, dst.Data)
+		return out, total.MsgRetries, total.MsgDups, total.Busy
+	}
+	clean, r0, d0, busyClean := run(1, false)
+	if r0 != 0 || d0 != 0 {
+		t.Fatalf("unarmed run counted retries=%d dups=%d", r0, d0)
+	}
+	faulty, retries, dups, busyFaulty := run(1, true)
+	if retries == 0 || dups == 0 {
+		t.Fatalf("armed run at rate 0.3 counted retries=%d dups=%d", retries, dups)
+	}
+	if busyFaulty <= busyClean {
+		t.Fatalf("injected faults did not cost cycles: %d <= %d", busyFaulty, busyClean)
+	}
+	for i := range clean {
+		if clean[i] != faulty[i] {
+			t.Fatalf("numerics diverged at %d under injected faults", i)
+		}
+	}
+	_, retries2, dups2, busy2 := run(1, true)
+	if retries2 != retries || dups2 != dups || busy2 != busyFaulty {
+		t.Fatalf("same seed not reproducible: (%d,%d,%d) vs (%d,%d,%d)",
+			retries, dups, busyFaulty, retries2, dups2, busy2)
+	}
+}
+
+// TestInjectedLossInCollectives: barrier and allreduce survive loss/dup and
+// still compute the right reduction.
+func TestInjectedLossInCollectives(t *testing.T) {
+	w, _ := world(t, core.Policy4K, 4)
+	w.SetFaultPlan(faultinject.New(9).
+		Enable(faultinject.SiteMPILoss, 0.4).
+		Enable(faultinject.SiteMPIDup, 0.4))
+	var bad atomic.Int64
+	w.Run(func(r *Rank) {
+		r.Barrier()
+		got := r.Allreduce(float64(r.ID + 1))
+		if got != 10 { // 1+2+3+4
+			bad.Add(1)
+		}
+		r.Barrier()
+	})
+	if bad.Load() != 0 {
+		t.Fatal("allreduce wrong under injected message faults")
+	}
+	if total := w.RT().TotalCounters(); total.MsgRetries == 0 {
+		t.Fatal("collectives drew no retries at rate 0.4")
 	}
 }

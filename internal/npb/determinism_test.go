@@ -9,25 +9,7 @@ import (
 )
 
 // checksum extracts a solution fingerprint from a kernel after a run.
-func checksum(k Kernel) float64 {
-	switch v := k.(type) {
-	case *CG:
-		s := 0.0
-		for _, x := range v.z.Data {
-			s += x
-		}
-		return s
-	case *SP:
-		return v.checksum
-	case *BT:
-		return v.checksum
-	case *MG:
-		return v.normF
-	case *FT:
-		return v.maxErr
-	}
-	return math.NaN()
-}
+func checksum(k Kernel) float64 { return Checksum(k) }
 
 // TestNumericsIndependentOfPagePolicy: the page policy changes timing only;
 // the computed values must be bit-identical across 4K/2M/mixed/transparent.

@@ -27,9 +27,11 @@ package npb
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"hugeomp/internal/core"
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/machine"
 	"hugeomp/internal/omp"
 	"hugeomp/internal/profile"
@@ -122,6 +124,12 @@ type RunConfig struct {
 	Sharing    machine.SharingMode
 	Barrier    omp.BarrierAlgo
 	Hugetlb    int // hugetlbfs mode; 0 = preallocate
+
+	// HugePages forwards to core.Config.HugePages: 0 sizes the pool to the
+	// shared region, core.NoHugePages forces the 4 KB degraded path.
+	HugePages int
+	// Fault arms deterministic fault injection for the whole run (nil = off).
+	Fault *faultinject.Plan
 }
 
 // Result reports one benchmark run.
@@ -137,11 +145,22 @@ type Result struct {
 	Regions  []*omp.RegionProfile // per-region profile, most expensive first
 	DataMB   float64
 	InstrMB  float64
+
+	Degraded bool               // the 2 MB region ran on 4 KB fallback pages
+	OS       profile.OSCounters // degraded-path events of this run
 }
 
 // Run executes one benchmark end to end: build the system, set up the
 // kernel, run, verify, and collect counters.
 func Run(k Kernel, cfg RunConfig) (Result, error) {
+	res, _, _, err := RunOn(k, cfg)
+	return res, err
+}
+
+// RunOn is Run returning the assembled system and runtime alongside the
+// result, for harnesses that audit post-run state (internal/check invariants
+// in cmd/chaos) or read per-context counters.
+func RunOn(k Kernel, cfg RunConfig) (Result, *core.System, *omp.RT, error) {
 	shared := sharedBytesFor(cfg.Class)
 	sys, err := core.NewSystem(core.Config{
 		Model:       cfg.Model,
@@ -150,27 +169,29 @@ func Run(k Kernel, cfg RunConfig) (Result, error) {
 		Barrier:     cfg.Barrier,
 		SharedBytes: shared,
 		PhysBytes:   4 * shared,
+		HugePages:   cfg.HugePages,
+		Fault:       cfg.Fault,
 	})
 	if err != nil {
-		return Result{}, fmt.Errorf("npb: system: %w", err)
+		return Result{}, nil, nil, fmt.Errorf("npb: system: %w", err)
 	}
 	if err := k.Setup(sys, cfg.Class); err != nil {
-		return Result{}, fmt.Errorf("npb: setup %s: %w", k.Name(), err)
+		return Result{}, nil, nil, fmt.Errorf("npb: setup %s: %w", k.Name(), err)
 	}
 	sys.Seal()
 	rt, err := sys.NewRT(cfg.Threads)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, nil, err
 	}
 	iters := cfg.Iterations
 	if iters == 0 {
 		iters = k.DefaultIterations(cfg.Class)
 	}
 	if err := k.Run(rt, iters); err != nil {
-		return Result{}, fmt.Errorf("npb: run %s: %w", k.Name(), err)
+		return Result{}, nil, nil, fmt.Errorf("npb: run %s: %w", k.Name(), err)
 	}
 	if err := k.Verify(); err != nil {
-		return Result{}, fmt.Errorf("npb: verify %s: %w", k.Name(), err)
+		return Result{}, nil, nil, fmt.Errorf("npb: verify %s: %w", k.Name(), err)
 	}
 	return Result{
 		Kernel:   k.Name(),
@@ -184,7 +205,33 @@ func Run(k Kernel, cfg RunConfig) (Result, error) {
 		Regions:  rt.RegionProfiles(),
 		DataMB:   float64(sys.DataFootprint()) / float64(units.MB),
 		InstrMB:  float64(sys.InstrFootprint()) / float64(units.MB),
-	}, nil
+		Degraded: sys.Degraded,
+		OS:       sys.OSCounters(),
+	}, sys, rt, nil
+}
+
+// Checksum extracts the solution fingerprint of a kernel after a run — the
+// value the golden tests freeze and the chaos harness compares across fault
+// plans (the robustness contract: injected faults may shift performance
+// counters, never this number). NaN for an unknown kernel type.
+func Checksum(k Kernel) float64 {
+	switch v := k.(type) {
+	case *CG:
+		s := 0.0
+		for _, x := range v.z.Data {
+			s += x
+		}
+		return s
+	case *SP:
+		return v.checksum
+	case *BT:
+		return v.checksum
+	case *MG:
+		return v.normF
+	case *FT:
+		return v.maxErr
+	}
+	return math.NaN()
 }
 
 // sharedBytesFor sizes the shared region per class (largest kernel, FT,

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/units"
 )
 
@@ -36,6 +37,10 @@ var (
 	ErrProtViolation = errors.New("pagetable: protection violation")
 	ErrOverlap       = errors.New("pagetable: mapping overlaps existing mapping")
 	ErrMisaligned    = errors.New("pagetable: misaligned mapping")
+	// ErrTransient is a retryable map failure (the kernel's "try again" paths:
+	// allocation of the PTE frame raced, memory momentarily tight). Only fault
+	// injection raises it; MapRetry absorbs it with bounded retries.
+	ErrTransient = errors.New("pagetable: transient map failure")
 )
 
 const (
@@ -94,6 +99,9 @@ type Table struct {
 	gen      atomic.Uint64 // mutation generation; starts at 1 (see New)
 	mapped4K atomic.Int64
 	mapped2M atomic.Int64
+
+	fault      *faultinject.Plan // nil = no injection
+	mapRetries atomic.Uint64     // transient Map failures absorbed by MapRetry
 }
 
 // lowPGDs covers virtual addresses below 16 GB with the slice-indexed PGD.
@@ -144,8 +152,20 @@ func pteIndex(va units.Addr) uint64 {
 // size-aligned and must not overlap an existing mapping. pfn is in 4 KB
 // units; for a 2 MB page it must be 512-aligned (naturally aligned frame).
 func (t *Table) Map(va units.Addr, size units.PageSize, pfn uint64, prot Prot) error {
+	return t.mapAttempt(va, size, pfn, prot, 0)
+}
+
+// mapAttempt is Map with an attempt index folded into the fault-decision key:
+// the target VA keeps concurrent mappers schedule-independent, the attempt
+// number gives each MapRetry round a fresh draw so a faulted VA is not
+// faulted forever.
+func (t *Table) mapAttempt(va units.Addr, size units.PageSize, pfn uint64, prot Prot, attempt uint64) error {
 	if uint64(va)&uint64(size.Mask()) != 0 {
 		return fmt.Errorf("%w: va %#x for %s page", ErrMisaligned, va, size)
+	}
+	key := uint64(va) ^ uint64(size) ^ attempt*0x9e3779b97f4a7c15
+	if t.fault.ShouldKey(faultinject.SitePTMap, key) {
+		return fmt.Errorf("%w: va %#x attempt %d (injected)", ErrTransient, va, attempt)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -294,6 +314,35 @@ func (t *Table) Access(va units.Addr, write bool) (WalkResult, error) {
 func PhysAddr(va units.Addr, e Entry) units.Addr {
 	return units.Addr(e.PFN)*units.Addr(units.PageSize4K) + (va & e.Size.Mask())
 }
+
+// SetFaultPlan arms (or, with nil, disarms) fault injection for this table.
+// Call before the run starts; decisions themselves are concurrency-safe.
+func (t *Table) SetFaultPlan(p *faultinject.Plan) { t.fault = p }
+
+// maxMapRetries bounds MapRetry. A plan firing at a fixed rate r leaves a
+// residual r^(n+1) chance of hard failure; 8 retries make even rate 0.5
+// effectively always succeed while still exercising the retry path.
+const maxMapRetries = 8
+
+// MapRetry is Map with bounded retry over ErrTransient, the path callers in
+// the memory stack use so injected transient faults degrade to extra work
+// (counted in MapRetries) instead of failed runs. Non-transient errors
+// return immediately.
+func (t *Table) MapRetry(va units.Addr, size units.PageSize, pfn uint64, prot Prot) error {
+	var err error
+	for attempt := uint64(0); attempt <= maxMapRetries; attempt++ {
+		err = t.mapAttempt(va, size, pfn, prot, attempt)
+		if !errors.Is(err, ErrTransient) {
+			return err
+		}
+		t.mapRetries.Add(1)
+	}
+	return err
+}
+
+// MapRetries returns how many transient Map failures were absorbed by
+// MapRetry (lock-free).
+func (t *Table) MapRetries() uint64 { return t.mapRetries.Load() }
 
 // Mapped4K returns the number of live 4 KB mappings (lock-free).
 func (t *Table) Mapped4K() int { return int(t.mapped4K.Load()) }

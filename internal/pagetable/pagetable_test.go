@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/units"
 )
 
@@ -178,6 +179,103 @@ func TestTranslateRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestUnmapProtectUnmappedTyped: operations on an unmapped page must fail
+// with the typed ErrNotMapped — callers distinguish it from transient faults.
+func TestUnmapProtectUnmappedTyped(t *testing.T) {
+	pt := New()
+	if _, err := pt.Unmap(0x5000, units.Size4K); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("Unmap of unmapped 4K: want ErrNotMapped, got %v", err)
+	}
+	if _, err := pt.Unmap(0, units.Size2M); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("Unmap of unmapped 2M: want ErrNotMapped, got %v", err)
+	}
+	if _, err := pt.Protect(0x5000, ProtRW); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("Protect of unmapped: want ErrNotMapped, got %v", err)
+	}
+	// Size-mismatched unmaps are also typed, not silent.
+	if err := pt.Map(0, units.Size2M, 0, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Unmap(0, units.Size4K); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("4K unmap of 2M mapping: want ErrNotMapped, got %v", err)
+	}
+	pt2 := New()
+	if err := pt2.Map(0x1000, units.Size4K, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt2.Unmap(0, units.Size2M); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("2M unmap of 4K mapping: want ErrNotMapped, got %v", err)
+	}
+}
+
+// TestMapFaultInjection: an armed SitePTMap plan makes Map fail with the
+// typed ErrTransient and leaves the table unchanged.
+func TestMapFaultInjection(t *testing.T) {
+	pt := New()
+	pt.SetFaultPlan(faultinject.New(1).Enable(faultinject.SitePTMap, 1))
+	err := pt.Map(0x3000, units.Size4K, 9, ProtRW)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("want ErrTransient, got %v", err)
+	}
+	if pt.Mapped4K() != 0 {
+		t.Fatal("failed Map mutated the table")
+	}
+	pt.SetFaultPlan(nil)
+	if err := pt.Map(0x3000, units.Size4K, 9, ProtRW); err != nil {
+		t.Fatalf("Map after disarm: %v", err)
+	}
+}
+
+// TestMapRetryAbsorbsTransients: MapRetry succeeds through rate-based
+// transient faults, counts the absorbed retries, and still propagates
+// non-transient errors immediately.
+func TestMapRetryAbsorbsTransients(t *testing.T) {
+	pt := New()
+	pt.SetFaultPlan(faultinject.New(7).Enable(faultinject.SitePTMap, 0.5))
+	var retries uint64
+	for i := 0; i < 64; i++ {
+		va := units.Addr(int64(i) * units.PageSize4K)
+		if err := pt.MapRetry(va, units.Size4K, uint64(i), ProtRW); err != nil {
+			t.Fatalf("MapRetry(%#x): %v", va, err)
+		}
+	}
+	retries = pt.MapRetries()
+	if retries == 0 {
+		t.Fatal("rate 0.5 over 64 maps absorbed zero retries — injection not exercised")
+	}
+	if pt.Mapped4K() != 64 {
+		t.Fatalf("Mapped4K = %d, want 64", pt.Mapped4K())
+	}
+	// Non-transient errors are not retried (plan disarmed so the transient
+	// draw, which precedes the overlap check, cannot interleave).
+	pt.SetFaultPlan(nil)
+	before := pt.MapRetries()
+	if err := pt.MapRetry(0, units.Size4K, 999, ProtRW); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("want ErrOverlap, got %v", err)
+	}
+	if pt.MapRetries() != before {
+		t.Fatal("overlap error consumed retries")
+	}
+}
+
+// TestMapRetryDeterministic: the same seed absorbs the same number of
+// retries — MapRetry is part of the replayable-counters contract.
+func TestMapRetryDeterministic(t *testing.T) {
+	run := func() uint64 {
+		pt := New()
+		pt.SetFaultPlan(faultinject.New(0xabc).Enable(faultinject.SitePTMap, 0.4))
+		for i := 0; i < 32; i++ {
+			if err := pt.MapRetry(units.Addr(int64(i)*units.PageSize4K), units.Size4K, uint64(i), ProtRW); err != nil {
+				t.Fatalf("MapRetry: %v", err)
+			}
+		}
+		return pt.MapRetries()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("retry counts differ across replays: %d vs %d", a, b)
 	}
 }
 

@@ -42,6 +42,11 @@ type Counters struct {
 	// OS events.
 	SoftFaults uint64 // serviced page faults (demand paging, coherence traps)
 
+	// Messaging robustness events (fault-injected loss/duplication; the
+	// retries change cycle counts, never numerics).
+	MsgRetries uint64 // control messages resent after simulated loss
+	MsgDups    uint64 // duplicated control messages detected and dropped
+
 	// Time.
 	Busy       uint64 // cycles of useful work + stall cycles, this context
 	WalkCyc    uint64 // cycles spent in page walks (subset of Busy)
@@ -80,6 +85,8 @@ func (c *Counters) Add(o *Counters) {
 	c.SMTSwitches += o.SMTSwitches
 	c.FlushCycles += o.FlushCycles
 	c.SoftFaults += o.SoftFaults
+	c.MsgRetries += o.MsgRetries
+	c.MsgDups += o.MsgDups
 	c.Busy += o.Busy
 	c.WalkCyc += o.WalkCyc
 	c.MemCyc += o.MemCyc
@@ -110,11 +117,62 @@ func (c Counters) Delta(prev Counters) Counters {
 		SMTSwitches:  c.SMTSwitches - prev.SMTSwitches,
 		FlushCycles:  c.FlushCycles - prev.FlushCycles,
 		SoftFaults:   c.SoftFaults - prev.SoftFaults,
+		MsgRetries:   c.MsgRetries - prev.MsgRetries,
+		MsgDups:      c.MsgDups - prev.MsgDups,
 		Busy:         c.Busy - prev.Busy,
 		WalkCyc:      c.WalkCyc - prev.WalkCyc,
 		MemCyc:       c.MemCyc - prev.MemCyc,
 		BarrierCyc:   c.BarrierCyc - prev.BarrierCyc,
 	}
+}
+
+// OSCounters aggregates the OS-level robustness events of one run — the
+// degraded-path activity that sits below the per-context hardware counters.
+// All of it shifts performance only; the numerics contract holds regardless.
+type OSCounters struct {
+	THPDemotions       uint64 // promoted 2 MB mappings split back to 4 KB
+	BrokenReservations uint64 // THP reservations lost (pool dry or injected)
+	HugePageFallbacks  uint64 // regions that fell back to 4 KB backing
+	PTMapRetries       uint64 // transient page-table map failures absorbed
+	DSMRefetches       uint64 // SCASH page fetches repeated after loss
+}
+
+// Add merges other into c.
+func (c *OSCounters) Add(o OSCounters) {
+	c.THPDemotions += o.THPDemotions
+	c.BrokenReservations += o.BrokenReservations
+	c.HugePageFallbacks += o.HugePageFallbacks
+	c.PTMapRetries += o.PTMapRetries
+	c.DSMRefetches += o.DSMRefetches
+}
+
+// Total returns the sum of all degraded-path events.
+func (c OSCounters) Total() uint64 {
+	return c.THPDemotions + c.BrokenReservations + c.HugePageFallbacks +
+		c.PTMapRetries + c.DSMRefetches
+}
+
+// String formats the non-zero fields compactly ("demotions=3 retries=9").
+func (c OSCounters) String() string {
+	var b strings.Builder
+	put := func(name string, v uint64) {
+		if v == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, v)
+	}
+	put("demotions", c.THPDemotions)
+	put("broken-reservations", c.BrokenReservations)
+	put("hugepage-fallbacks", c.HugePageFallbacks)
+	put("pt-map-retries", c.PTMapRetries)
+	put("dsm-refetches", c.DSMRefetches)
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
 }
 
 // Report is an OProfile-style textual summary of a Counters aggregate.

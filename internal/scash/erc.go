@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/pagetable"
 	"hugeomp/internal/shmem"
 	"hugeomp/internal/units"
@@ -29,6 +30,7 @@ import (
 // geometry: payloads are fragmented into MaxMsgSize chunks.
 type DSMStats struct {
 	Fetches     uint64 // page fetches from a home
+	Refetches   uint64 // fetch replies lost (injected) and repeated
 	WriteFaults uint64 // twin creations
 	Diffs       uint64 // diff flushes to a home
 	DiffBytes   uint64 // bytes of diffed data moved
@@ -48,6 +50,7 @@ type DSM struct {
 	Stats DSMStats
 
 	procs []*Proc
+	fault *faultinject.Plan // nil = no injection
 }
 
 type homePage struct {
@@ -64,6 +67,10 @@ type Proc struct {
 
 	local map[uint64][]byte // cached page copies
 	twins map[uint64][]byte // pre-write snapshots
+	// fetchSeq numbers this proc's fetches of each page; touched only by the
+	// proc's own goroutine, it keys loss decisions to the specific fetch so
+	// injection stays schedule-independent across procs.
+	fetchSeq map[uint64]uint64
 }
 
 // NewDSM builds a DSM of npages pages of the given size starting at base.
@@ -85,11 +92,12 @@ func NewDSM(nproc int, pageSize units.PageSize, base units.Addr, npages int) (*D
 	}
 	for p := 0; p < nproc; p++ {
 		proc := &Proc{
-			dsm:   d,
-			id:    p,
-			PT:    pagetable.New(),
-			local: make(map[uint64][]byte),
-			twins: make(map[uint64][]byte),
+			dsm:      d,
+			id:       p,
+			PT:       pagetable.New(),
+			local:    make(map[uint64][]byte),
+			twins:    make(map[uint64][]byte),
+			fetchSeq: make(map[uint64]uint64),
 		}
 		// Map every page with no access so the first touch traps.
 		for i := 0; i < npages; i++ {
@@ -109,6 +117,10 @@ func NewDSM(nproc int, pageSize units.PageSize, base units.Addr, npages int) (*D
 
 // Proc returns endpoint i.
 func (d *DSM) Proc(i int) *Proc { return d.procs[i] }
+
+// SetFaultPlan arms (or, with nil, disarms) fetch-loss injection. Call
+// before the processes start accessing.
+func (d *DSM) SetFaultPlan(p *faultinject.Plan) { d.fault = p }
 
 // HomeOf returns the home process of the page index.
 func (d *DSM) HomeOf(page int) int { return page % d.nproc }
@@ -131,16 +143,35 @@ func msgsFor(bytes int) uint64 {
 	return uint64((bytes + shmem.MaxMsgSize - 1) / shmem.MaxMsgSize)
 }
 
+// maxFetchRetries bounds the refetch loop for a lost page reply; the last
+// attempt always succeeds (the simulated interconnect never hard-fails), so
+// the bound caps traffic, not correctness.
+const maxFetchRetries = 8
+
 // fetch pulls the home copy of page idx into the local cache (read fault
-// service).
+// service). Under an armed SiteSCASHFetch plan, page replies can be lost:
+// each loss repeats the request/reply exchange (counted in Refetches and in
+// message traffic) before the copy lands — the data that finally arrives is
+// always the home's current master copy, so numerics never change.
 func (p *Proc) fetch(idx int) {
 	d := p.dsm
+	seq := p.fetchSeq[idx64(idx)]
+	p.fetchSeq[idx64(idx)]++
+	key := uint64(p.id)<<48 | uint64(idx)<<16 | seq&0xffff
+	attempts := uint64(1)
+	for a := uint64(0); a < maxFetchRetries; a++ {
+		if !d.fault.ShouldKey(faultinject.SiteSCASHFetch, key^(a+1)*0x9e3779b97f4a7c15) {
+			break
+		}
+		attempts++
+	}
 	d.mu.Lock()
 	src := d.homes[idx]
 	cp := make([]byte, len(src.data))
 	copy(cp, src.data)
 	d.Stats.Fetches++
-	d.Stats.Msgs += 1 + msgsFor(len(cp)) // request + fragmented page reply
+	d.Stats.Refetches += attempts - 1
+	d.Stats.Msgs += attempts * (1 + msgsFor(len(cp))) // request + fragmented page reply, per attempt
 	d.mu.Unlock()
 	p.local[idx64(idx)] = cp
 }
@@ -239,9 +270,12 @@ func (p *Proc) WriteAt(va units.Addr, data []byte) error {
 // Release flushes this process's dirty pages: each twinned page is diffed
 // against its twin and the differing bytes are sent to the page's home,
 // which applies them ("eager" — propagation happens at the release, not
-// lazily at the next acquire).
-func (p *Proc) Release() {
+// lazily at the next acquire). A protection downgrade that fails reports a
+// page-table inconsistency (every DSM page was mapped at construction, so
+// ErrNotMapped here means the trap machinery is broken, not a benign race).
+func (p *Proc) Release() error {
 	d := p.dsm
+	var firstErr error
 	for key, twin := range p.twins {
 		idx := int(key)
 		local := p.local[key]
@@ -264,31 +298,45 @@ func (p *Proc) Release() {
 		delete(p.twins, key)
 		// Downgrade to read-only: the next write re-twins.
 		pageVA := d.base + units.Addr(int64(idx)*d.pageSize.Bytes())
-		_, _ = p.PT.Protect(pageVA, pagetable.ProtRead)
+		if _, err := p.PT.Protect(pageVA, pagetable.ProtRead); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("scash: release downgrade of page %d: %w", idx, err)
+		}
 	}
+	return firstErr
 }
 
 // Acquire invalidates every cached page so subsequent reads observe all
-// diffs released before this acquire.
-func (p *Proc) Acquire() {
+// diffs released before this acquire. Like Release, a failed protection
+// change is a real inconsistency and is reported.
+func (p *Proc) Acquire() error {
 	d := p.dsm
+	var firstErr error
 	for key := range p.local {
 		idx := int(key)
 		pageVA := d.base + units.Addr(int64(idx)*d.pageSize.Bytes())
-		_, _ = p.PT.Protect(pageVA, pagetable.ProtNone)
+		if _, err := p.PT.Protect(pageVA, pagetable.ProtNone); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("scash: acquire invalidation of page %d: %w", idx, err)
+		}
 		delete(p.local, key)
 	}
+	return firstErr
 }
 
 // Barrier performs the ERC barrier: every process releases, then every
 // process acquires. The caller must ensure no process is mid-access.
-func (d *DSM) Barrier() {
+func (d *DSM) Barrier() error {
+	var firstErr error
 	for _, p := range d.procs {
-		p.Release()
+		if err := p.Release(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	for _, p := range d.procs {
-		p.Acquire()
+		if err := p.Acquire(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
+	return firstErr
 }
 
 // HomeVersion exposes a page's home version for protocol tests.

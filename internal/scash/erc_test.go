@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/units"
 )
 
@@ -189,5 +190,58 @@ func TestERC2MPages(t *testing.T) {
 	// One page fetch of 2MB fragments into 2048 messages plus a request.
 	if d.Stats.Msgs == 0 {
 		t.Error("no protocol messages counted")
+	}
+}
+
+// TestInjectedFetchLossOnlyAddsTraffic: with SiteSCASHFetch armed, reads
+// still observe the home's data exactly; lost replies surface as Refetches
+// and extra messages, reproducibly per seed.
+func TestInjectedFetchLossOnlyAddsTraffic(t *testing.T) {
+	run := func(arm bool) ([]byte, DSMStats) {
+		d := newDSM(t, 2, 8)
+		if arm {
+			d.SetFaultPlan(faultinject.New(0xca5c).Enable(faultinject.SiteSCASHFetch, 0.5))
+		}
+		w := d.Proc(0)
+		for pg := 0; pg < 8; pg++ {
+			va := units.Addr(0x40000000 + int64(pg)*units.PageSize4K)
+			if err := w.WriteAt(va, []byte{byte(pg), byte(pg + 1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		r := d.Proc(1)
+		var out []byte
+		for pg := 0; pg < 8; pg++ {
+			va := units.Addr(0x40000000 + int64(pg)*units.PageSize4K)
+			b, err := r.ReadAt(va, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, b...)
+		}
+		return out, d.Stats
+	}
+	clean, statsClean := run(false)
+	if statsClean.Refetches != 0 {
+		t.Fatalf("unarmed run counted %d refetches", statsClean.Refetches)
+	}
+	faulty, statsFaulty := run(true)
+	if statsFaulty.Refetches == 0 {
+		t.Fatal("armed run at rate 0.5 drew no refetches")
+	}
+	if statsFaulty.Msgs <= statsClean.Msgs {
+		t.Fatalf("refetches added no traffic: %d <= %d msgs", statsFaulty.Msgs, statsClean.Msgs)
+	}
+	for i := range clean {
+		if clean[i] != faulty[i] {
+			t.Fatalf("data diverged at byte %d under fetch loss", i)
+		}
+	}
+	_, again := run(true)
+	if again.Refetches != statsFaulty.Refetches || again.Msgs != statsFaulty.Msgs {
+		t.Fatalf("same seed not reproducible: %+v vs %+v", statsFaulty, again)
 	}
 }

@@ -62,7 +62,9 @@ func NewRegion(phys *mem.PhysMem, pt *pagetable.Table, base units.Addr, length i
 			pfn, err = phys.Alloc4K()
 		}
 		if err == nil {
-			err = pt.Map(base+units.Addr(i*size.Bytes()), size, pfn, prot)
+			// MapRetry absorbs injected transient map failures; a real
+			// conflict (overlap, misalignment) still surfaces immediately.
+			err = pt.MapRetry(base+units.Addr(i*size.Bytes()), size, pfn, prot)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("shmem: region page %d/%d: %w", i+1, n, err)

@@ -3,7 +3,10 @@
 // aggregates.
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {
@@ -69,4 +72,29 @@ func Ratio(a, b float64) float64 {
 		return 0
 	}
 	return a / b
+}
+
+// Factor returns new/base — the multiplicative cost of new relative to base
+// (1.0 = unchanged, 9.7 = 9.7× more). 0 when base is 0.
+func Factor(base, new uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(new) / float64(base)
+}
+
+// FormatFactor renders a Factor for degradation reports: "×9.7" for growth,
+// "×0.83" for shrinkage, "×1.0" for unchanged, "—" for an undefined (zero
+// base) factor.
+func FormatFactor(f float64) string {
+	if f == 0 {
+		return "—"
+	}
+	if f >= 10 {
+		return fmt.Sprintf("×%.0f", f)
+	}
+	if f >= 1 {
+		return fmt.Sprintf("×%.1f", f)
+	}
+	return fmt.Sprintf("×%.2f", f)
 }

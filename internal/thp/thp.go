@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/mem"
 	"hugeomp/internal/pagetable"
 	"hugeomp/internal/units"
@@ -43,9 +44,10 @@ type Stats struct {
 	SoftFaults         uint64 // demand-paging faults serviced
 	Reservations       uint64 // 2 MB frames reserved
 	Promotions         uint64 // chunks promoted to a 2 MB mapping
+	Demotions          uint64 // promoted chunks split back to 4 KB under pressure
 	BrokenReservations uint64 // reservations released under pressure
 	Fallback4K         uint64 // base pages served without a reservation
-	Shootdowns         uint64 // TLB invalidations issued at promotion
+	Shootdowns         uint64 // TLB invalidations issued at promotion/demotion
 }
 
 // Shootdown is the hook the manager calls to invalidate stale translations
@@ -56,6 +58,7 @@ type chunk struct {
 	reserved bool
 	broken   bool // reservation lost; chunk stays 4 KB forever
 	promoted bool
+	demoted  bool   // was promoted, split back to 4 KB under pressure
 	basePFN  uint64 // of the reservation (2 MB aligned), when reserved
 	mapped   [basePagesPerChunk / 64]uint64
 	nMapped  int
@@ -84,6 +87,7 @@ type Manager struct {
 	PromoteAt int
 
 	shoot Shootdown
+	fault *faultinject.Plan // nil = no injection
 	Stats Stats
 }
 
@@ -104,6 +108,13 @@ func (m *Manager) SetShootdown(s Shootdown) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.shoot = s
+}
+
+// SetFaultPlan arms (or, with nil, disarms) fault injection for this manager.
+func (m *Manager) SetFaultPlan(p *faultinject.Plan) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fault = p
 }
 
 // Register adds [base, base+length) as a demand-paged region. base must be
@@ -160,9 +171,16 @@ func (m *Manager) HandleFault(va units.Addr, write bool) error {
 	m.Stats.SoftFaults++
 	chunkVA := r.base + units.Addr(int64(ci)*units.PageSize2M)
 
-	// Reserve a 2 MB frame on the first touch of the chunk.
+	// Reserve a 2 MB frame on the first touch of the chunk. An injected
+	// SiteTHPAlloc fault (keyed by the chunk address, so concurrent faulting
+	// threads draw the same decision regardless of which one wins the race)
+	// emulates the kernel failing to assemble a contiguous 2 MB frame: the
+	// chunk degrades to 4 KB pages exactly as if the pool were dry.
 	if !c.reserved && !c.broken {
-		if pfn, err := m.phys.Alloc2M(); err == nil {
+		if m.fault.ShouldKey(faultinject.SiteTHPAlloc, uint64(chunkVA)) {
+			c.broken = true
+			m.Stats.BrokenReservations++
+		} else if pfn, err := m.phys.Alloc2M(); err == nil {
 			c.reserved = true
 			c.basePFN = pfn
 			m.Stats.Reservations++
@@ -184,14 +202,24 @@ func (m *Manager) HandleFault(va units.Addr, write bool) error {
 		m.Stats.Fallback4K++
 	}
 	pageVA := chunkVA + units.Addr(int64(pi)*units.PageSize4K)
-	if err := m.pt.Map(pageVA, units.Size4K, pfn, pagetable.ProtRW); err != nil {
+	if err := m.pt.MapRetry(pageVA, units.Size4K, pfn, pagetable.ProtRW); err != nil {
 		return err
 	}
 	c.setMapped(pi)
 	c.nMapped++
 
 	if c.reserved && c.nMapped >= m.PromoteAt {
-		return m.promote(r, ci, chunkVA)
+		if err := m.promote(r, ci, chunkVA); err != nil {
+			return err
+		}
+	}
+
+	// Memory-pressure events (khugepaged splitting THPs to reclaim) are
+	// drawn per serviced fault; a hit demotes the oldest promoted chunk.
+	// Occurrence-keyed, so plans arming this site should drive the manager
+	// from one thread to stay replayable.
+	if m.fault.Should(faultinject.SiteTHPPressure) {
+		return m.demoteFirstLocked()
 	}
 	return nil
 }
@@ -214,12 +242,86 @@ func (m *Manager) promote(r *region, ci int, chunkVA units.Addr) error {
 			m.Stats.Shootdowns++
 		}
 	}
-	if err := m.pt.Map(chunkVA, units.Size2M, c.basePFN, pagetable.ProtRW); err != nil {
+	if err := m.pt.MapRetry(chunkVA, units.Size2M, c.basePFN, pagetable.ProtRW); err != nil {
 		return fmt.Errorf("thp: promote map: %w", err)
 	}
 	c.promoted = true
 	m.Stats.Promotions++
 	return nil
+}
+
+// Demote splits the promoted chunk containing va back into 4 KB mappings —
+// the khugepaged split under memory pressure. The 2 MB mapping is torn down
+// (with a TLB shootdown covering the whole chunk) and every base page is
+// re-mapped from the same physical frame, so memory contents are untouched
+// and only translation costs change. Returns ErrOutOfRegion if va is not in
+// a registered region and nil (no-op) if the chunk is not promoted.
+func (m *Manager) Demote(va units.Addr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ci, _ := m.find(va)
+	if r == nil {
+		return fmt.Errorf("%w: %#x", ErrOutOfRegion, va)
+	}
+	if !r.chunks[ci].promoted {
+		return nil
+	}
+	return m.demoteLocked(r, ci)
+}
+
+// demoteFirstLocked demotes the lowest-addressed promoted chunk, if any —
+// the deterministic victim choice for injected pressure events. Caller
+// holds m.mu.
+func (m *Manager) demoteFirstLocked() error {
+	for _, r := range m.regions {
+		for ci := range r.chunks {
+			if r.chunks[ci].promoted {
+				return m.demoteLocked(r, ci)
+			}
+		}
+	}
+	return nil
+}
+
+// demoteLocked does the split. Caller holds m.mu and has verified promoted.
+func (m *Manager) demoteLocked(r *region, ci int) error {
+	c := &r.chunks[ci]
+	chunkVA := r.base + units.Addr(int64(ci)*units.PageSize2M)
+	if _, err := m.pt.Unmap(chunkVA, units.Size2M); err != nil {
+		return fmt.Errorf("thp: demote unmap: %w", err)
+	}
+	if m.shoot != nil {
+		m.shoot(chunkVA, units.Size2M)
+		m.Stats.Shootdowns++
+	}
+	for pi := 0; pi < basePagesPerChunk; pi++ {
+		pageVA := chunkVA + units.Addr(int64(pi)*units.PageSize4K)
+		if err := m.pt.MapRetry(pageVA, units.Size4K, c.basePFN+uint64(pi), pagetable.ProtRW); err != nil {
+			return fmt.Errorf("thp: demote map: %w", err)
+		}
+		c.setMapped(pi)
+	}
+	c.nMapped = basePagesPerChunk
+	c.promoted = false
+	c.demoted = true
+	m.Stats.Demotions++
+	return nil
+}
+
+// DemotedBytes reports how much of the registered space was split back to
+// 4 KB pages by pressure events.
+func (m *Manager) DemotedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, r := range m.regions {
+		for i := range r.chunks {
+			if r.chunks[i].demoted && !r.chunks[i].promoted {
+				n += units.PageSize2M
+			}
+		}
+	}
+	return n
 }
 
 // Touch pre-faults the whole range (an madvise(MADV_WILLNEED) analogue used

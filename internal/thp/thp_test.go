@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"hugeomp/internal/faultinject"
 	"hugeomp/internal/mem"
 	"hugeomp/internal/pagetable"
 	"hugeomp/internal/units"
@@ -227,5 +228,143 @@ func TestTouchTranslateProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestInjectedAllocFailureBreaksReservation: a SiteTHPAlloc fault keyed at
+// the chunk address breaks the reservation so the chunk serves 4 KB pages,
+// without touching other chunks.
+func TestInjectedAllocFailureBreaksReservation(t *testing.T) {
+	m, pt := newMgr(t, 64)
+	m.SetFaultPlan(faultinject.New(1).EnableAt(faultinject.SiteTHPAlloc, 0)) // key 0 = chunk at VA 0
+	if err := m.Register(0, 2*units.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HandleFault(0x100, false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.BrokenReservations != 1 || m.Stats.Fallback4K != 1 {
+		t.Fatalf("stats = %+v, want broken=1 fallback=1", m.Stats)
+	}
+	// Second chunk (key PageSize2M) is unaffected and reserves normally.
+	if err := m.HandleFault(units.Addr(units.PageSize2M), false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Reservations != 1 {
+		t.Fatalf("stats = %+v, want one reservation for the healthy chunk", m.Stats)
+	}
+	if _, err := pt.Translate(0x100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDemoteSplitsPromotedChunk: Demote tears down the 2 MB mapping with a
+// shootdown and re-maps every base page from the same frame.
+func TestDemoteSplitsPromotedChunk(t *testing.T) {
+	phys := mem.New(64 * units.MB)
+	pt := pagetable.New()
+	var shots []units.Addr
+	m := New(phys, pt, func(va units.Addr, size units.PageSize) {
+		if size == units.Size2M {
+			shots = append(shots, va)
+		}
+	})
+	m.PromoteAt = 4
+	if err := m.Register(0, units.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := m.HandleFault(units.Addr(int64(i)*units.PageSize4K), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pt.Mapped2M() != 1 {
+		t.Fatal("chunk not promoted")
+	}
+	w2m, _ := pt.Translate(0x5000)
+	if err := m.Demote(0x100); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Mapped2M() != 0 || pt.Mapped4K() != basePagesPerChunk {
+		t.Fatalf("after demote: 2M=%d 4K=%d, want 0/%d", pt.Mapped2M(), pt.Mapped4K(), basePagesPerChunk)
+	}
+	// Same physical frame: translation of any offset resolves to the same
+	// physical address as before the split.
+	w4k, err := pt.Translate(0x5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pagetable.PhysAddr(0x5000, w4k.Entry) != pagetable.PhysAddr(0x5000, w2m.Entry) {
+		t.Fatal("demotion moved the page contents")
+	}
+	if len(shots) != 1 || shots[0] != 0 {
+		t.Fatalf("2M shootdowns = %v, want one at 0", shots)
+	}
+	if m.Stats.Demotions != 1 {
+		t.Fatalf("Demotions = %d", m.Stats.Demotions)
+	}
+	if m.DemotedBytes() != units.PageSize2M {
+		t.Fatalf("DemotedBytes = %d", m.DemotedBytes())
+	}
+	// A fault in the demoted chunk is a no-op (everything is mapped) and
+	// must not re-promote.
+	if err := m.HandleFault(0x100, true); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Mapped2M() != 0 {
+		t.Fatal("demoted chunk re-promoted by a stale fault")
+	}
+}
+
+// TestDemoteNonPromotedNoop: Demote of an unpromoted chunk does nothing;
+// outside any region it returns the typed error.
+func TestDemoteNonPromotedNoop(t *testing.T) {
+	m, pt := newMgr(t, 64)
+	if err := m.Register(0, units.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HandleFault(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Demote(0); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Mapped4K() != 1 || m.Stats.Demotions != 0 {
+		t.Fatalf("no-op demote changed state: 4K=%d demotions=%d", pt.Mapped4K(), m.Stats.Demotions)
+	}
+	if err := m.Demote(units.Addr(64 * units.PageSize2M)); !errors.Is(err, ErrOutOfRegion) {
+		t.Fatalf("want ErrOutOfRegion, got %v", err)
+	}
+}
+
+// TestInjectedPressureDemotesDeterministically: a pressure plan fired from
+// the fault path demotes the lowest promoted chunk, and the same seed
+// reproduces the same demotion count.
+func TestInjectedPressureDemotesDeterministically(t *testing.T) {
+	run := func() uint64 {
+		phys := mem.New(256 * units.MB)
+		pt := pagetable.New()
+		m := New(phys, pt, nil)
+		m.PromoteAt = 2
+		m.SetFaultPlan(faultinject.New(0xfeed).Enable(faultinject.SiteTHPPressure, 0.2))
+		if err := m.Register(0, 8*units.PageSize2M); err != nil {
+			t.Fatal(err)
+		}
+		for ci := 0; ci < 8; ci++ {
+			for pi := 0; pi < 2; pi++ {
+				va := units.Addr(int64(ci)*units.PageSize2M + int64(pi)*units.PageSize4K)
+				if err := m.HandleFault(va, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return m.Stats.Demotions
+	}
+	a := run()
+	if a == 0 {
+		t.Fatal("pressure plan at rate 0.2 over 16 faults demoted nothing")
+	}
+	if b := run(); a != b {
+		t.Fatalf("demotions differ across replays: %d vs %d", a, b)
 	}
 }

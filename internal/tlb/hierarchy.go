@@ -146,6 +146,17 @@ func (h *Hierarchy) Flush() {
 	}
 }
 
+// VisitEntries calls f for every valid entry across both levels and both
+// size classes, reporting the level (1 or 2) and page size alongside the
+// entry. Used by the post-run TLB-vs-pagetable consistency audit.
+func (h *Hierarchy) VisitEntries(f func(level int, size units.PageSize, e Entry)) {
+	for _, size := range [...]units.PageSize{units.Size4K, units.Size2M} {
+		sz := size
+		h.l1[sz].Visit(func(e Entry) { f(1, sz, e) })
+		h.l2[sz].Visit(func(e Entry) { f(2, sz, e) })
+	}
+}
+
 // String summarises the stack.
 func (h *Hierarchy) String() string {
 	var b strings.Builder

@@ -199,6 +199,20 @@ func (t *TLB) Stats() (hits, misses uint64) {
 	return t.hits, t.misses
 }
 
+// Visit calls f for every valid entry (nil-safe). The post-run consistency
+// audit in internal/check uses it to compare resident translations against
+// the page table.
+func (t *TLB) Visit(f func(Entry)) {
+	if t == nil {
+		return
+	}
+	for i := range t.ways {
+		if t.ways[i].valid {
+			f(Entry{VPN: t.ways[i].vpn, Writable: t.ways[i].writable})
+		}
+	}
+}
+
 // Live returns the number of valid entries (used by tests and invariants).
 func (t *TLB) Live() int {
 	if t == nil {
