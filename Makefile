@@ -20,7 +20,7 @@ check:
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
-	$(GO) test -race -short -count=1 ./internal/machine/ ./internal/omp/ ./internal/par/ ./internal/bench/ ./internal/cache/ ./internal/scash/
+	$(GO) test -race -short -count=1 ./internal/machine/ ./internal/omp/ ./internal/par/ ./internal/bench/ ./internal/cache/ ./internal/scash/ ./internal/profile/
 
 # Fault-injection soak: 50 seeded, replayable fault plans over CG/MG/SP.
 # Every run must pass NPB verification with fault-free numerics, hold all
@@ -36,7 +36,10 @@ simbench:
 	$(GO) run ./cmd/experiments -bench
 
 # Perf regression guard: re-measure the dense and gather fast paths and fail
-# if either is >2x slower than the committed BENCH_simulator.json.
+# if either is >2x slower than the committed BENCH_simulator.json. On hosts
+# with >= 4 procs it also enforces the parallel-efficiency floor: 4-thread
+# CG must run >= 1.5x faster than 1-thread (skipped with a note on smaller
+# hosts, where a time-sliced team cannot speed up).
 bench:
 	$(GO) run ./cmd/experiments -bench-baseline
 

@@ -60,6 +60,14 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Print(bench.FormatSimPerf(perf))
+		for _, sweep := range [][]bench.MulticorePoint{perf.Multicore, perf.MulticoreMG} {
+			for _, m := range sweep {
+				if m.Capped {
+					log.Printf("note: %d simulated threads time-sliced over %d host procs (host has %d); speedup understated",
+						m.Threads, m.GOMAXPROCS, perf.HostProcs)
+				}
+			}
+		}
 		log.Printf("wrote %s", *benchOut)
 		return
 	}

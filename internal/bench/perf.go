@@ -11,8 +11,12 @@ import (
 	"hugeomp/internal/core"
 	"hugeomp/internal/machine"
 	"hugeomp/internal/npb"
+	"hugeomp/internal/stats"
 	"hugeomp/internal/units"
 )
+
+// multicoreThreads is the simulated team sizes of the scaling sweeps.
+var multicoreThreads = []int{1, 2, 4, 8}
 
 // SimPerf records the simulator's host-side performance: nanoseconds of host
 // time per simulated access for the canonical access patterns, and the wall
@@ -44,22 +48,39 @@ type SimPerf struct {
 	Fig4WallSeconds float64 `json:"fig4_wall_seconds"`
 	Fig4Class       string  `json:"fig4_class"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
-	// Multicore is the multi-core scaling section: the same CG class-W
-	// region simulation (4 simulated threads, 4 KB pages) timed at
-	// GOMAXPROCS 1, 2 and 4 (capped at the host's core count),
-	// demonstrating that N simulated threads use N host cores now that
-	// translation and coherence no longer serialise on global locks. A
-	// single-core host emits only the GOMAXPROCS=1 point.
+	// HostProcs is runtime.NumCPU() at measurement time: the physical limit
+	// every capped multicore row ran against.
+	HostProcs int `json:"host_procs"`
+	// Multicore is the CG multi-core scaling section: the class-W region
+	// simulation swept over 1/2/4/8 simulated threads with GOMAXPROCS set
+	// to min(threads, host procs), demonstrating that N simulated threads
+	// use N host cores now that translation, coherence and counters no
+	// longer serialise on shared locks. Rows whose thread count exceeds the
+	// host's are still emitted — time-sliced — with Capped recorded, so
+	// few-core hosts produce trajectory data too.
 	Multicore []MulticorePoint `json:"multicore_cg"`
+	// MulticoreMG is the same sweep over the MG kernel.
+	MulticoreMG []MulticorePoint `json:"multicore_mg"`
 }
 
-// MulticorePoint is one GOMAXPROCS setting of the multi-core scaling
-// section.
+// MulticorePoint is one simulated-thread count of a multi-core scaling
+// sweep.
 type MulticorePoint struct {
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	WallSeconds float64 `json:"cg_wall_seconds"`
-	// SpeedupX is relative to the GOMAXPROCS=1 point.
+	// Threads is the simulated team size.
+	Threads int `json:"threads"`
+	// Model is the simulated machine (8 threads need a 4-chip Opteron).
+	Model string `json:"model"`
+	// GOMAXPROCS is the host parallelism the row ran at:
+	// min(Threads, host procs).
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Capped records that the host had fewer procs than simulated threads,
+	// so the row ran time-sliced and understates the achievable speedup.
+	Capped      bool    `json:"capped,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// SpeedupX is relative to the Threads=1 row of the same sweep.
 	SpeedupX float64 `json:"speedup_x"`
+	// Efficiency is SpeedupX normalised by the thread count.
+	Efficiency float64 `json:"efficiency"`
 }
 
 func perfSystem(elems int) (*core.System, *machine.Context, *core.Array, error) {
@@ -157,27 +178,47 @@ func measureGather() (gather, scalar float64, err error) {
 	return gather, scalar, nil
 }
 
-// measureMulticoreCG times the CG class-W region simulation (4 simulated
-// threads, 4 KB pages — the paper's headline configuration) at GOMAXPROCS
-// 1, 2 and 4, capped at the host's core count: on a single-core host
-// time-slicing four goroutines over one core can only add overhead, so
-// points the host cannot physically parallelise are not emitted rather
-// than recorded as a fake scaling failure. Setup (matrix generation)
-// happens outside the timed region; only the simulated parallel regions —
-// where the team runs as real goroutines — are measured.
-func measureMulticoreCG() ([]MulticorePoint, error) {
+// multicoreModel returns the simulated machine for a team of `threads`: the
+// paper's Opteron 270 with coherence enabled — so the sweep exercises the
+// sharded snoop bus and the private-line fast path under real host
+// parallelism — and, for teams beyond its four contexts, a doubled
+// four-chip board of the same cores ("Opteron270x2").
+func multicoreModel(threads int) machine.Model {
+	m := machine.Opteron270()
+	m.Coherent = true
+	if threads > m.MaxThreads() {
+		m.Chips = 4
+		m.Name = "Opteron270x2"
+	}
+	return m
+}
+
+// measureMulticore times one kernel's region simulation at each simulated
+// team size in threads, with GOMAXPROCS set to min(threads, host procs) so
+// every simulated thread that can get a host core does. Rows the host cannot
+// physically parallelise are still emitted — time-sliced, with Capped
+// recorded — so few-core hosts produce the full trajectory instead of
+// silently dropping points (the caller logs the cap). Setup (matrix
+// generation) happens outside the timed region; only the simulated parallel
+// regions — where the team runs as real goroutines — are measured. Speedups
+// are relative to the first (single-thread) row.
+func measureMulticore(newKernel func() npb.Kernel, class npb.Class, threads []int) ([]MulticorePoint, error) {
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
 	var pts []MulticorePoint
-	for _, procs := range []int{1, 2, 4} {
-		if procs > 1 && procs > runtime.NumCPU() {
-			continue
+	for _, n := range threads {
+		model := multicoreModel(n)
+		procs := n
+		capped := false
+		if host := runtime.NumCPU(); procs > host {
+			procs = host
+			capped = true
 		}
 		runtime.GOMAXPROCS(procs)
-		k := npb.NewCG()
+		k := newKernel()
 		shared := int64(64 * units.MB)
 		sys, err := core.NewSystem(core.Config{
-			Model:       machine.Opteron270(),
+			Model:       model,
 			Policy:      core.Policy4K,
 			SharedBytes: shared,
 			PhysBytes:   4 * shared,
@@ -185,23 +226,31 @@ func measureMulticoreCG() ([]MulticorePoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := k.Setup(sys, npb.ClassW); err != nil {
+		if err := k.Setup(sys, class); err != nil {
 			return nil, err
 		}
 		sys.Seal()
-		rt, err := sys.NewRT(4)
+		rt, err := sys.NewRT(n)
 		if err != nil {
 			return nil, err
 		}
 		start := time.Now()
-		if err := k.Run(rt, k.DefaultIterations(npb.ClassW)); err != nil {
+		if err := k.Run(rt, k.DefaultIterations(class)); err != nil {
 			return nil, err
 		}
 		wall := time.Since(start).Seconds()
-		pt := MulticorePoint{GOMAXPROCS: procs, WallSeconds: wall, SpeedupX: 1}
+		pt := MulticorePoint{
+			Threads:     n,
+			Model:       model.Name,
+			GOMAXPROCS:  procs,
+			Capped:      capped,
+			WallSeconds: wall,
+			SpeedupX:    1,
+		}
 		if len(pts) > 0 && wall > 0 {
 			pt.SpeedupX = pts[0].WallSeconds / wall
 		}
+		pt.Efficiency = stats.Efficiency(pt.SpeedupX, n)
 		pts = append(pts, pt)
 	}
 	return pts, nil
@@ -211,7 +260,11 @@ func measureMulticoreCG() ([]MulticorePoint, error) {
 // access patterns and times one Figure 4 sweep at the given class (apps nil
 // = all five kernels).
 func MeasureSimPerf(class npb.Class, apps []string) (SimPerf, error) {
-	p := SimPerf{Fig4Class: class.String(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	p := SimPerf{
+		Fig4Class:  class.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HostProcs:  runtime.NumCPU(),
+	}
 
 	var err error
 	if p.DenseNs, p.DenseScalarNs, err = measureDense(); err != nil {
@@ -256,7 +309,10 @@ func MeasureSimPerf(class npb.Class, apps []string) (SimPerf, error) {
 		p.GatherSpeedup = p.GatherScalarNs / p.GatherNs
 	}
 
-	if p.Multicore, err = measureMulticoreCG(); err != nil {
+	if p.Multicore, err = measureMulticore(func() npb.Kernel { return npb.NewCG() }, npb.ClassW, multicoreThreads); err != nil {
+		return p, err
+	}
+	if p.MulticoreMG, err = measureMulticore(func() npb.Kernel { return npb.NewMG() }, npb.ClassW, multicoreThreads); err != nil {
 		return p, err
 	}
 
@@ -279,10 +335,19 @@ func ReadSimPerf(path string) (SimPerf, error) {
 	return p, err
 }
 
+// minCGSpeedup4 is the parallel-efficiency floor RegressionCheck enforces: a
+// 4-simulated-thread CG run on a host with at least 4 procs must beat the
+// single-thread run by this factor, or coherence/counter contention has crept
+// back into the parallel path.
+const minCGSpeedup4 = 1.5
+
 // RegressionCheck re-measures the dense and gather fast paths and compares
 // them against the committed baseline at path, returning an error if either
-// regressed more than 2x. Used by `make bench` as a cheap CI guard (the full
-// Fig4 sweep and multicore section are skipped).
+// regressed more than 2x. On hosts with at least 4 procs it also re-runs the
+// CG scaling sweep at 1 and 4 simulated threads and fails if the 4-thread
+// speedup falls below minCGSpeedup4; few-core hosts skip the floor (a
+// time-sliced team cannot speed up) and say so in the report. Used by
+// `make bench` as a cheap CI guard (the full Fig4 sweep is skipped).
 func RegressionCheck(path string) (string, error) {
 	base, err := ReadSimPerf(path)
 	if err != nil {
@@ -304,6 +369,21 @@ func RegressionCheck(path string) (string, error) {
 	if base.GatherNs > 0 && gather > 2*base.GatherNs {
 		return report, fmt.Errorf("bench: gather fast path regressed >2x: %.2f ns/access vs baseline %.2f", gather, base.GatherNs)
 	}
+	if host := runtime.NumCPU(); host >= 4 {
+		pts, err := measureMulticore(func() npb.Kernel { return npb.NewCG() }, npb.ClassW, []int{1, 4})
+		if err != nil {
+			return report, err
+		}
+		s := pts[1].SpeedupX
+		report += fmt.Sprintf(", CG 4-thread speedup %.2fx (floor %.1fx)", s, minCGSpeedup4)
+		if s < minCGSpeedup4 {
+			return report, fmt.Errorf(
+				"bench: parallel efficiency regressed: CG 4-thread speedup %.2fx < %.1fx floor on a %d-proc host",
+				s, minCGSpeedup4, host)
+		}
+	} else {
+		report += fmt.Sprintf(", CG speedup floor skipped (host has %d procs, need >= 4)", host)
+	}
 	return report, nil
 }
 
@@ -321,8 +401,20 @@ func FormatSimPerf(p SimPerf) string {
 		p.DenseNs, p.DenseScalarNs, p.DenseSpeedup, p.StridedNs, p.RandomNs,
 		p.GatherNs, p.GatherScalarNs, p.GatherSpeedup,
 		p.Fig4Class, p.Fig4WallSeconds, p.GOMAXPROCS)
-	for _, m := range p.Multicore {
-		s += fmt.Sprintf("; CG wall @%d procs %.2fs (%.2fx)", m.GOMAXPROCS, m.WallSeconds, m.SpeedupX)
+	s += formatMulticore("CG", p.Multicore)
+	s += formatMulticore("MG", p.MulticoreMG)
+	return s
+}
+
+func formatMulticore(name string, pts []MulticorePoint) string {
+	var s string
+	for _, m := range pts {
+		cap := ""
+		if m.Capped {
+			cap = fmt.Sprintf(" capped@%d procs", m.GOMAXPROCS)
+		}
+		s += fmt.Sprintf("; %s %dT %.2fs (%.2fx, eff %.2f%s)",
+			name, m.Threads, m.WallSeconds, m.SpeedupX, m.Efficiency, cap)
 	}
 	return s
 }

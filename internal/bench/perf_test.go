@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"hugeomp/internal/npb"
+)
+
+// TestMulticoreRowsAlwaysEmitted: the scaling sweep must emit a row for
+// every requested simulated-thread count even when the host has fewer procs
+// — recording the cap instead of silently dropping the point — with
+// GOMAXPROCS clamped to the host and the speedup/efficiency chain anchored
+// at the single-thread row.
+func TestMulticoreRowsAlwaysEmitted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two CG class-S simulations")
+	}
+	threads := []int{1, 2, 8}
+	pts, err := measureMulticore(func() npb.Kernel { return npb.NewCG() }, npb.ClassS, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(threads) {
+		t.Fatalf("emitted %d rows for %d requested thread counts", len(pts), len(threads))
+	}
+	host := runtime.NumCPU()
+	for i, pt := range pts {
+		if pt.Threads != threads[i] {
+			t.Errorf("row %d: threads %d, want %d", i, pt.Threads, threads[i])
+		}
+		wantProcs := threads[i]
+		if wantProcs > host {
+			wantProcs = host
+		}
+		if pt.GOMAXPROCS != wantProcs {
+			t.Errorf("row %d: GOMAXPROCS %d, want min(%d, %d host procs)", i, pt.GOMAXPROCS, threads[i], host)
+		}
+		if pt.Capped != (threads[i] > host) {
+			t.Errorf("row %d: Capped=%v on a %d-proc host for %d threads", i, pt.Capped, host, threads[i])
+		}
+		if pt.WallSeconds <= 0 {
+			t.Errorf("row %d: wall %.3fs", i, pt.WallSeconds)
+		}
+	}
+	if pts[0].SpeedupX != 1 || pts[0].Efficiency != 1 {
+		t.Errorf("single-thread anchor row has speedup %.2f, efficiency %.2f; want 1, 1",
+			pts[0].SpeedupX, pts[0].Efficiency)
+	}
+	if pts[2].Model != "Opteron270x2" {
+		t.Errorf("8-thread row ran on %q, want the 4-chip Opteron270x2", pts[2].Model)
+	}
+}

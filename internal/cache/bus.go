@@ -1,26 +1,78 @@
 package cache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
 
-// busShards is the number of independently locked directory shards. Must be
-// a power of two. 64 shards make same-line conflicts the only contended case
-// even with every simulated context missing its L2 at once.
-const busShards = 64
+// Directory sharding. The directory is sharded by line *group*: GroupLines
+// consecutive lines (one 4 KB page's worth) share a shard, so a coalesced
+// run of lines from one page is one shard critical section — the unit of the
+// run-level transactions in AccessLines. busShards must be a power of two.
+const (
+	// GroupShift is log2 of the lines per shard group. 6 → 64 lines = 4 KB,
+	// exactly one small page and exactly the lines of one rangeBulk page
+	// segment stride.
+	GroupShift = 6
+	// GroupLines is the number of consecutive line addresses sharing a shard.
+	GroupLines = 1 << GroupShift
+
+	busShards = 64
+)
+
+// GroupOf returns the shard-group number of a line address; lines with equal
+// groups can be batched into one AccessLines transaction.
+func GroupOf(lineAddr uint64) uint64 { return lineAddr >> GroupShift }
+
+// shardIndex maps a line address to its directory shard.
+func shardIndex(lineAddr uint64) uint64 {
+	return (lineAddr >> GroupShift) & (busShards - 1)
+}
 
 // busShard is one directory shard: a lock serialising every transaction on
-// the lines that hash to it, plus that shard's slice of the transaction
-// counters. Padded to a host cache line so neighbouring shards don't false-
-// share.
+// the line groups that hash to it, plus the shard's cross-cache transition
+// generation. xgen is bumped (under the shard lock, before the peer line is
+// mutated) whenever a transaction transitions a line held by *another*
+// cache — invalidations and downgrades. A cache that filled a line private
+// (Exclusive) remembers the generation it saw; as long as the generation is
+// unchanged, no peer can have gained a copy of any line in the shard, so the
+// owner may promote E→M without touching the bus (see Cache.FastAccess).
+// Partitioned workloads never transition remote copies, so their stamps stay
+// valid for the whole run. Padded to a host cache line so neighbouring
+// shards don't false-share.
 type busShard struct {
-	mu sync.Mutex
+	mu   sync.Mutex
+	xgen atomic.Uint64
+	_    [64 - unsafe.Sizeof(sync.Mutex{}) - unsafe.Sizeof(atomic.Uint64{})]byte
+}
 
+const _ uintptr = -(unsafe.Sizeof(busShard{}) % 64)
+
+// txnCounters is one cache's shard of the bus transaction counters. Each
+// requester counts its own transactions in its own block — written only from
+// that cache's transactions (which its per-context goroutine, or l2Mu for a
+// truly shared L2, already serialises) — so the hot path never contends on a
+// shared counter word. Blocks are read back merged, in deterministic attach
+// order, by the Bus counter accessors; merge only at quiescent points.
+// Padded to a host cache line against false sharing between neighbours.
+type txnCounters struct {
 	readMisses    uint64
 	writeMisses   uint64
 	invalidations uint64
 	interventions uint64
 	writebacks    uint64
+	_             [24]byte
+}
 
-	_ [16]byte
+const _ uintptr = -(unsafe.Sizeof(txnCounters{}) % 64)
+
+// LineTxn is the per-line outcome of a batched AccessLines transaction.
+type LineTxn struct {
+	Hit          bool // local hit (no fill needed)
+	Intervention bool // a peer supplied the line (held it M or E)
+
+	shared bool // some peer retains a copy (read path bookkeeping)
 }
 
 // Bus is a snooping coherence interconnect connecting the private last-level
@@ -34,7 +86,7 @@ type busShard struct {
 //   - a write (hit-on-Shared or miss) invalidates every peer copy and the
 //     requester holds the line Modified.
 //
-// The directory is sharded by line address: transactions on the same line
+// The directory is sharded by line group: transactions on the same line
 // always serialise on one shard lock (which is what keeps the per-line MESI
 // invariants), while transactions on different shards proceed concurrently —
 // so N simulated contexts missing their L2s at once no longer serialise on a
@@ -51,6 +103,10 @@ type Bus struct {
 	mu     sync.Mutex
 	caches []*Cache // attach-time only; read-only during traffic
 
+	// ctrs[i] is the padded transaction-counter block of the cache attached
+	// with id i. Same indexing as caches.
+	ctrs []*txnCounters
+
 	shards [busShards]busShard
 }
 
@@ -65,6 +121,33 @@ func (b *Bus) Attach(c *Cache) {
 	c.id = len(b.caches)
 	c.bus = b
 	b.caches = append(b.caches, c)
+	b.ctrs = append(b.ctrs, &txnCounters{})
+}
+
+// shard returns the directory shard owning lineAddr.
+func (b *Bus) shard(lineAddr uint64) *busShard {
+	return &b.shards[shardIndex(lineAddr)]
+}
+
+// bumper bumps the shard generation at most once per transaction, and only
+// when the transaction actually transitions a line held by another cache.
+// New copies of a shard's lines cannot appear while the shard lock is held
+// (fills go through the same lock), so a transaction that finds no peer
+// copies correctly leaves the generation — and every private-line stamp —
+// intact; that is what keeps partitioned workloads on the fast path forever.
+// Soundness does not depend on bump/transition ordering: the stamp is a
+// conservative filter, and the owner-side E→M promotion it gates is a CAS
+// that loses to any racing peer transition.
+type bumper struct {
+	sh     *busShard
+	bumped bool
+}
+
+func (bp *bumper) bump() {
+	if !bp.bumped {
+		bp.sh.xgen.Add(1)
+		bp.bumped = true
+	}
 }
 
 // Access performs a coherent access by cache c to lineAddr. It returns the
@@ -72,10 +155,12 @@ func (b *Bus) Attach(c *Cache) {
 // cost model charges as a cache-to-cache transfer rather than a memory
 // fetch).
 func (b *Bus) Access(c *Cache, lineAddr uint64, write bool) (Result, bool) {
-	sh := &b.shards[lineAddr&(busShards-1)]
+	sh := b.shard(lineAddr)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
+	ctr := b.ctrs[c.id]
+	bp := bumper{sh: sh}
 	intervention := false
 
 	if write {
@@ -88,19 +173,20 @@ func (b *Bus) Access(c *Cache, lineAddr uint64, write bool) (Result, bool) {
 			case Invalid:
 				continue
 			case Modified:
-				sh.writebacks++
+				ctr.writebacks++
 				intervention = true
 			case Exclusive:
 				intervention = true
 			}
-			sh.invalidations++
+			bp.bump()
+			ctr.invalidations++
 		}
 		res := c.lockedAccess(lineAddr, true)
 		if !res.Hit {
-			sh.writeMisses++
+			ctr.writeMisses++
 		}
 		if intervention {
-			sh.interventions++
+			ctr.interventions++
 		}
 		return res, intervention
 	}
@@ -111,7 +197,7 @@ func (b *Bus) Access(c *Cache, lineAddr uint64, write bool) (Result, bool) {
 	}
 	// Read miss: the line filled Exclusive; snoop peers and downgrade to
 	// Shared all round if any other copy exists.
-	sh.readMisses++
+	ctr.readMisses++
 	shared := false
 	for _, p := range b.caches {
 		if p == c {
@@ -119,41 +205,168 @@ func (b *Bus) Access(c *Cache, lineAddr uint64, write bool) (Result, bool) {
 		}
 		switch p.downgrade(lineAddr) {
 		case Modified:
-			sh.writebacks++
+			ctr.writebacks++
 			intervention = true
 			shared = true
+			bp.bump()
 		case Exclusive:
 			intervention = true
 			shared = true
+			bp.bump()
 		case Shared:
 			shared = true
 		}
 	}
 	if shared {
 		c.lockedSetState(lineAddr, Shared)
+	} else {
+		// Line filled private (Exclusive): arm the lock-free E→M promotion.
+		c.mu.Lock()
+		c.stampPrivate(lineAddr, sh.xgen.Load())
+		c.mu.Unlock()
 	}
 	if intervention {
-		sh.interventions++
+		ctr.interventions++
 	}
 	return res, intervention
 }
 
-// counters sums the per-shard transaction counters.
+// AccessLines performs one coherent transaction for a whole run of lines by
+// cache c: a single shard critical section, and a single acquisition of each
+// peer's (and the requester's) mutex for the entire run, instead of one
+// shard+cache lock round-trip per line. out[i] receives the outcome for
+// lines[i].
+//
+// Contract: len(out) >= len(lines); all lines are distinct and belong to one
+// shard group (GroupOf equal — the machine layer flushes its batch at group
+// boundaries). The per-line MESI transitions, private-line stamps and
+// counter increments are exactly those of calling Access once per line in
+// order; the machine layer additionally requires the requester cache to have
+// at least GroupLines sets so the lines of a group occupy distinct sets and
+// batching cannot reorder victim selection.
+func (b *Bus) AccessLines(c *Cache, lines []uint64, write bool, out []LineTxn) {
+	if len(lines) == 0 {
+		return
+	}
+	sh := b.shard(lines[0])
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	ctr := b.ctrs[c.id]
+	bp := bumper{sh: sh}
+	for i := range lines {
+		out[i] = LineTxn{}
+	}
+
+	if write {
+		var inv, wb uint64
+		for _, p := range b.caches {
+			if p == c {
+				continue
+			}
+			p.mu.Lock()
+			for i, ln := range lines {
+				switch p.invalidateSlot(ln) {
+				case Invalid:
+					continue
+				case Modified:
+					wb++
+					out[i].Intervention = true
+				case Exclusive:
+					out[i].Intervention = true
+				}
+				bp.bump()
+				inv++
+			}
+			p.mu.Unlock()
+		}
+		c.mu.Lock()
+		for i, ln := range lines {
+			res := c.Access(ln, true)
+			out[i].Hit = res.Hit
+			if !res.Hit {
+				ctr.writeMisses++
+			}
+			if out[i].Intervention {
+				ctr.interventions++
+			}
+		}
+		c.mu.Unlock()
+		ctr.invalidations += inv
+		ctr.writebacks += wb
+		return
+	}
+
+	// Read run: local lookups first, then snoop peers for the missed lines,
+	// then settle the fills' final states.
+	c.mu.Lock()
+	for i, ln := range lines {
+		out[i].Hit = c.Access(ln, false).Hit
+	}
+	c.mu.Unlock()
+	var wb uint64
+	for _, p := range b.caches {
+		if p == c {
+			continue
+		}
+		p.mu.Lock()
+		for i, ln := range lines {
+			if out[i].Hit {
+				continue
+			}
+			switch p.downgradeSlot(ln) {
+			case Modified:
+				wb++
+				out[i].Intervention = true
+				out[i].shared = true
+				bp.bump()
+			case Exclusive:
+				out[i].Intervention = true
+				out[i].shared = true
+				bp.bump()
+			case Shared:
+				out[i].shared = true
+			}
+		}
+		p.mu.Unlock()
+	}
+	c.mu.Lock()
+	gen := sh.xgen.Load()
+	for i, ln := range lines {
+		if out[i].Hit {
+			continue
+		}
+		ctr.readMisses++
+		if out[i].shared {
+			c.setState(ln, Shared)
+		} else {
+			c.stampPrivate(ln, gen)
+		}
+		if out[i].Intervention {
+			ctr.interventions++
+		}
+	}
+	c.mu.Unlock()
+	ctr.writebacks += wb
+}
+
+// counters merges the per-cache transaction-counter blocks in deterministic
+// attach order. Only meaningful at quiescent points (no traffic in flight) —
+// which is when the audits and reports run.
 func (b *Bus) counters() (rm, wm, inv, itv, wb uint64) {
-	for i := range b.shards {
-		sh := &b.shards[i]
-		sh.mu.Lock()
-		rm += sh.readMisses
-		wm += sh.writeMisses
-		inv += sh.invalidations
-		itv += sh.interventions
-		wb += sh.writebacks
-		sh.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ctr := range b.ctrs {
+		rm += ctr.readMisses
+		wm += ctr.writeMisses
+		inv += ctr.invalidations
+		itv += ctr.interventions
+		wb += ctr.writebacks
 	}
 	return
 }
 
-// ReadMisses returns the total read-miss transactions across all shards.
+// ReadMisses returns the total read-miss transactions across all caches.
 func (b *Bus) ReadMisses() uint64 { rm, _, _, _, _ := b.counters(); return rm }
 
 // WriteMisses returns the total write-miss transactions.
@@ -184,7 +397,7 @@ func (b *Bus) Caches() []*Cache {
 // state; MESI requires at most one Modified-or-Exclusive owner and that an
 // M/E owner excludes Shared copies.
 func (b *Bus) Owners(lineAddr uint64) (m, e, s int) {
-	sh := &b.shards[lineAddr&(busShards-1)]
+	sh := b.shard(lineAddr)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, p := range b.caches {

@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"hugeomp/internal/units"
+)
+
+// batchSetup builds n mirrored caches on one bus with 64 sets each, the
+// geometry the machine layer requires for batching (Sets() >= GroupLines, so
+// the lines of one shard group occupy distinct sets).
+func batchSetup(n int) (*Bus, []*Cache) {
+	bus := NewBus()
+	caches := make([]*Cache, n)
+	for i := range caches {
+		caches[i] = New(Config{SizeBytes: 8 * units.KB, Ways: 2}) // 64 sets
+		bus.Attach(caches[i])
+	}
+	return bus, caches
+}
+
+type busCtrs struct{ rm, wm, inv, itv, wb uint64 }
+
+func snapshotCtrs(b *Bus) busCtrs {
+	var c busCtrs
+	c.rm, c.wm, c.inv, c.itv, c.wb = b.counters()
+	return c
+}
+
+// randomRun draws a run satisfying the AccessLines contract: distinct
+// ascending line addresses from a single shard group.
+func randomRun(rng *rand.Rand, group uint64) []uint64 {
+	n := 1 + rng.Intn(GroupLines)
+	offs := rng.Perm(GroupLines)[:n]
+	sort.Ints(offs)
+	lines := make([]uint64, n)
+	for i, o := range offs {
+		lines[i] = group*GroupLines + uint64(o)
+	}
+	return lines
+}
+
+// TestAccessLinesMatchesPerLineAccess: a batched run transaction must be
+// observably identical to issuing Access once per line in order — same
+// per-line hit/intervention outcomes, same transaction counters, same MESI
+// state in every cache — across arbitrary interleavings of requesters,
+// groups and read/write runs.
+func TestAccessLinesMatchesPerLineAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	busA, cachesA := batchSetup(3) // per-line protocol
+	busB, cachesB := batchSetup(3) // batched protocol
+	out := make([]LineTxn, GroupLines)
+	for step := 0; step < 500; step++ {
+		who := rng.Intn(3)
+		lines := randomRun(rng, uint64(rng.Intn(6)))
+		write := rng.Intn(2) == 0
+
+		hits := make([]bool, len(lines))
+		itvs := make([]bool, len(lines))
+		for i, ln := range lines {
+			res, itv := busA.Access(cachesA[who], ln, write)
+			hits[i], itvs[i] = res.Hit, itv
+		}
+		busB.AccessLines(cachesB[who], lines, write, out)
+
+		for i := range lines {
+			if hits[i] != out[i].Hit || itvs[i] != out[i].Intervention {
+				t.Fatalf("step %d line %#x write=%v: per-line (hit=%v itv=%v) != batched (hit=%v itv=%v)",
+					step, lines[i], write, hits[i], itvs[i], out[i].Hit, out[i].Intervention)
+			}
+		}
+		if a, b := snapshotCtrs(busA), snapshotCtrs(busB); a != b {
+			t.Fatalf("step %d: counters diverge: per-line %+v, batched %+v", step, a, b)
+		}
+		for i := range cachesA {
+			if !reflect.DeepEqual(cachesA[i].Snapshot(), cachesB[i].Snapshot()) {
+				t.Fatalf("step %d: cache %d MESI state diverges", step, i)
+			}
+		}
+	}
+}
+
+// TestFastAccessMatchesBusAccess: the lock-free private-line fast path with
+// its bus fallback must be observably identical to routing every access
+// through the bus — FastAccess may only serve accesses whose full protocol
+// round would have been a pure local hit, so states and counters never drift.
+func TestFastAccessMatchesBusAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	busA, cachesA := batchSetup(2) // fast path + fallback
+	busB, cachesB := batchSetup(2) // pure bus protocol
+	served := 0
+	for step := 0; step < 4000; step++ {
+		who := rng.Intn(2)
+		line := uint64(rng.Intn(48))
+		write := rng.Intn(2) == 0
+		if cachesA[who].FastAccess(line, write) {
+			served++
+		} else {
+			busA.Access(cachesA[who], line, write)
+		}
+		busB.Access(cachesB[who], line, write)
+		if a, b := snapshotCtrs(busA), snapshotCtrs(busB); a != b {
+			t.Fatalf("step %d: counters diverge: fast %+v, pure %+v", step, a, b)
+		}
+	}
+	for i := range cachesA {
+		if !reflect.DeepEqual(cachesA[i].Snapshot(), cachesB[i].Snapshot()) {
+			t.Fatalf("cache %d MESI state diverges", i)
+		}
+	}
+	if served == 0 {
+		t.Error("fast path never served an access; the test exercised nothing")
+	}
+}
+
+// TestFastAccessConcurrent hammers the lock-free fast path from four
+// goroutines — each driving its own cache over a private line group plus a
+// small shared set — interleaved with batched run transactions, and checks
+// the MESI single-owner discipline afterwards. Run under -race this is the
+// proof that the generation-stamp protocol publishes states safely.
+func TestFastAccessConcurrent(t *testing.T) {
+	bus, caches := batchSetup(4)
+	const iters = 4000
+	var wg sync.WaitGroup
+	for g := range caches {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := caches[g]
+			rng := rand.New(rand.NewSource(int64(g)))
+			privBase := uint64((16 + 4*g) * GroupLines) // disjoint group per goroutine
+			run := make([]uint64, GroupLines)
+			out := make([]LineTxn, GroupLines)
+			for i := range run {
+				run[i] = privBase + uint64(i)
+			}
+			for i := 0; i < iters; i++ {
+				write := rng.Intn(2) == 0
+				ln := privBase + uint64(rng.Intn(GroupLines))
+				if !c.FastAccess(ln, write) {
+					bus.Access(c, ln, write)
+				}
+				sln := uint64(rng.Intn(8)) // contended lines
+				if !c.FastAccess(sln, write) {
+					bus.Access(c, sln, write)
+				}
+				if i%97 == 0 {
+					bus.AccessLines(c, run, false, out)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for ln := uint64(0); ln < 8; ln++ {
+		m, e, s := bus.Owners(ln)
+		if m+e > 1 || (m+e == 1 && s > 0) {
+			t.Errorf("line %#x: %d Modified, %d Exclusive, %d Shared owners", ln, m, e, s)
+		}
+	}
+}
+
+// TestPrivateStampSurvivesUnrelatedTraffic: traffic on other caches that
+// never touches a private line's group must not bump the group's generation,
+// so a partitioned workload's stamps keep the owner on the fast path
+// indefinitely; a peer actually reading the line must knock it off.
+func TestPrivateStampSurvivesUnrelatedTraffic(t *testing.T) {
+	bus, caches := batchSetup(2)
+	const priv = 5 * GroupLines // cache 0's private line
+	bus.Access(caches[0], priv, false)
+	if !caches[0].FastAccess(priv, true) {
+		t.Fatal("freshly filled private line must take the E->M fast path")
+	}
+
+	// Unrelated traffic in a different group, same shard layout.
+	other := uint64((5+busShards)*GroupLines + 3) // same shard as priv's group
+	bus.Access(caches[1], other, true)
+	bus.Access(caches[0], 7*GroupLines, false)
+	if !caches[0].FastAccess(priv, false) {
+		t.Error("read hit on owned line left the fast path")
+	}
+
+	// A peer reads the line: now Shared, writes must fall back to the bus.
+	bus.Access(caches[1], priv, false)
+	if caches[0].FastAccess(priv, true) {
+		t.Error("write on a Shared line served lock-free; invalidation lost")
+	}
+}

@@ -12,6 +12,8 @@ package cache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"hugeomp/internal/units"
 )
@@ -62,11 +64,23 @@ type Result struct {
 // touches two host cache lines instead of the six an array-of-structs layout
 // costs; stamps are only touched on the miss path (victim selection) and
 // states only on state transitions.
-type Cache struct {
+//
+// Concurrency roles when the cache is attached to a Bus: tags, stamps, tick
+// and priv are written only by the owning context's goroutine (fills happen
+// inside that context's own bus transactions), so the lock-free fast path may
+// read them plainly. states is the one array peers mutate (invalidations and
+// downgrades on behalf of other caches' transactions), so every
+// cross-goroutine state access goes through sync/atomic — peer-side
+// transitions are CAS loops, and the owner's lock-free E→M promotion is a CAS
+// that simply fails into the locked slow path if a peer transition wins the
+// race.
+type cacheFields struct {
 	tags      []uint64
 	stamps    []uint64
-	states    []State
+	states    []uint32 // State values, atomically accessed when bus-attached
+	priv      []uint64 // per-line private-fill stamps (see FastAccess)
 	assoc     int
+	sets      int
 	setMask   uint64
 	lineShift uint
 	tick      uint64
@@ -80,6 +94,18 @@ type Cache struct {
 	// The raw single-owner methods (Access, Probe, …) do not take it.
 	mu sync.Mutex
 }
+
+// Cache pads its fields to a whole number of 64-byte host cache lines so
+// that adjacently allocated caches (the machine layer builds one per
+// context, back to back) never false-share a line between one cache's
+// mutable tail fields (tick, mu) and the next one's slice headers.
+type Cache struct {
+	cacheFields
+	_ [(64 - unsafe.Sizeof(cacheFields{})%64) % 64]byte
+}
+
+// compile-time: Cache is a whole number of cache lines.
+const _ uintptr = -(unsafe.Sizeof(Cache{}) % 64)
 
 // New builds a cache from cfg.
 func New(cfg Config) *Cache {
@@ -106,19 +132,43 @@ func New(cfg Config) *Cache {
 	for 1<<shift != ls {
 		shift++
 	}
-	return &Cache{
+	c := &Cache{}
+	c.cacheFields = cacheFields{
 		tags:      make([]uint64, nLines),
 		stamps:    make([]uint64, nLines),
-		states:    make([]State, nLines),
+		states:    make([]uint32, nLines),
+		priv:      make([]uint64, nLines),
 		assoc:     assoc,
+		sets:      sets,
 		setMask:   uint64(sets - 1),
 		lineShift: shift,
 		id:        -1,
 	}
+	return c
 }
 
 // LineAddr converts a physical address into a line number.
 func (c *Cache) LineAddr(pa units.Addr) uint64 { return uint64(pa) >> c.lineShift }
+
+// Sets returns the number of sets (the machine layer's run batching requires
+// the lines of one bus shard group to map to distinct sets).
+func (c *Cache) Sets() int { return c.sets }
+
+// st reads the state of way slot i. Plain read: safe on the owner's
+// goroutine and under the bus-side mutex (see cacheFields doc).
+func (c *cacheFields) st(i int) State { return State(c.states[i]) }
+
+// stAtomic reads the state of way slot i with an atomic load, for lock-free
+// readers racing peer-side transitions.
+func (c *cacheFields) stAtomic(i int) State {
+	return State(atomic.LoadUint32(&c.states[i]))
+}
+
+// touch refreshes the LRU stamp of way slot i. Owner-only state.
+func (c *cacheFields) touch(i int) {
+	c.tick++
+	c.stamps[i] = c.tick
+}
 
 // Access looks up the line containing pa; on a miss it fills the line,
 // evicting the set's LRU way. write marks the line dirty (Modified).
@@ -129,11 +179,10 @@ func (c *Cache) Access(lineAddr uint64, write bool) Result {
 	// Hit scan: tags only, so the common case stays within one or two host
 	// cache lines.
 	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.states[i] != Invalid {
-			c.tick++
-			c.stamps[i] = c.tick
-			if write {
-				c.states[i] = Modified
+		if c.tags[i] == lineAddr && c.st(i) != Invalid {
+			c.touch(i)
+			if write && c.st(i) != Modified {
+				atomic.StoreUint32(&c.states[i], uint32(Modified))
 			}
 			return Result{Hit: true}
 		}
@@ -141,7 +190,7 @@ func (c *Cache) Access(lineAddr uint64, write bool) Result {
 	// Miss: choose victim (first Invalid way, else LRU).
 	victim, oldest := base, ^uint64(0)
 	for i := base; i < base+c.assoc; i++ {
-		if c.states[i] == Invalid {
+		if c.st(i) == Invalid {
 			victim = i
 			break
 		}
@@ -150,28 +199,87 @@ func (c *Cache) Access(lineAddr uint64, write bool) Result {
 		}
 	}
 	res := Result{}
-	if c.states[victim] != Invalid {
+	if c.st(victim) != Invalid {
 		res.HadEvict = true
 		res.Evicted = c.tags[victim]
-		res.Writeback = c.states[victim] == Modified
+		res.Writeback = c.st(victim) == Modified
 	}
-	c.tick++
 	st := Exclusive
 	if write {
 		st = Modified
 	}
 	c.tags[victim] = lineAddr
-	c.stamps[victim] = c.tick
-	c.states[victim] = st
+	c.touch(victim)
+	atomic.StoreUint32(&c.states[victim], uint32(st))
 	return res
+}
+
+// FastAccess is the contention-free private-line fast path: a hit probe that
+// takes neither the bus shard lock nor the per-cache mutex. It serves the
+// access and reports true only when doing so requires no bus transaction:
+//
+//   - a read hit on any valid copy (M, E or S reads never generate traffic);
+//   - a write hit on a Modified line (no transition);
+//   - a write hit on an Exclusive line whose private-fill stamp still equals
+//     the line's bus shard generation — proof that no cross-cache transition
+//     has touched the shard since this cache filled the line private, so the
+//     silent E→M promotion MESI grants an exclusive owner applies. The
+//     promotion itself is a CAS that loses gracefully to a racing peer
+//     transition (the caller then retries through the locked bus path).
+//
+// Everything else (misses, write-upgrades of Shared lines, stale stamps)
+// returns false and must go through Bus.Access. Call only from the owning
+// context's goroutine with the cache attached to a bus.
+func (c *Cache) FastAccess(lineAddr uint64, write bool) bool {
+	base := int(lineAddr&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] != lineAddr {
+			continue
+		}
+		st := c.stAtomic(i)
+		switch {
+		case st == Invalid:
+			return false // stale tag; the locked path refills
+		case !write || st == Modified:
+			c.touch(i)
+			return true
+		case st == Exclusive:
+			sh := c.bus.shard(lineAddr)
+			if c.priv[i] != sh.xgen.Load() {
+				return false // shard saw cross-cache traffic since the fill
+			}
+			if !atomic.CompareAndSwapUint32(&c.states[i],
+				uint32(Exclusive), uint32(Modified)) {
+				return false // a peer transition won the race
+			}
+			c.touch(i)
+			return true
+		default: // Shared write: needs an invalidating upgrade transaction
+			return false
+		}
+	}
+	return false
+}
+
+// stampPrivate records the current shard generation on lineAddr's slot after
+// a private (Exclusive) fill, arming the lock-free E→M promotion. Owner-only
+// state; called from the filling transaction.
+func (c *cacheFields) stampPrivate(lineAddr uint64, gen uint64) {
+	base := int(lineAddr&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == lineAddr && c.st(i) != Invalid {
+			c.priv[i] = gen
+			return
+		}
+	}
 }
 
 // Probe reports the state of lineAddr without touching LRU state.
 func (c *Cache) Probe(lineAddr uint64) State {
 	base := int(lineAddr&c.setMask) * c.assoc
 	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.states[i] != Invalid {
-			return c.states[i]
+		if c.tags[i] == lineAddr && c.stAtomic(i) != Invalid {
+			return c.stAtomic(i)
 		}
 	}
 	return Invalid
@@ -180,8 +288,8 @@ func (c *Cache) Probe(lineAddr uint64) State {
 func (c *Cache) setState(lineAddr uint64, st State) {
 	base := int(lineAddr&c.setMask) * c.assoc
 	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.states[i] != Invalid {
-			c.states[i] = st
+		if c.tags[i] == lineAddr && c.st(i) != Invalid {
+			atomic.StoreUint32(&c.states[i], uint32(st))
 			return
 		}
 	}
@@ -202,38 +310,66 @@ func (c *Cache) lockedSetState(lineAddr uint64, st State) {
 	c.mu.Unlock()
 }
 
-// invalidate atomically removes lineAddr (if present) and returns the state
-// it held, so a bus write transaction probes and invalidates a peer in one
-// critical section.
-func (c *Cache) invalidate(lineAddr uint64) State {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// invalidateSlot atomically removes lineAddr (if present) and returns the
+// state it held. The transition is a CAS loop because the line's owner may
+// concurrently promote E→M through the lock-free fast path; the loop
+// re-reads so a promoted line is correctly observed (and billed) as
+// Modified. Caller holds c.mu.
+func (c *cacheFields) invalidateSlot(lineAddr uint64) State {
 	base := int(lineAddr&c.setMask) * c.assoc
 	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.states[i] != Invalid {
-			st := c.states[i]
-			c.states[i] = Invalid
-			return st
+		if c.tags[i] != lineAddr {
+			continue
+		}
+		for {
+			st := c.stAtomic(i)
+			if st == Invalid {
+				return Invalid
+			}
+			if atomic.CompareAndSwapUint32(&c.states[i],
+				uint32(st), uint32(Invalid)) {
+				return st
+			}
 		}
 	}
 	return Invalid
 }
 
-// downgrade atomically moves lineAddr (if present) to Shared and returns the
-// state it held, so a bus read transaction probes and downgrades a peer in
-// one critical section.
-func (c *Cache) downgrade(lineAddr uint64) State {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// downgradeSlot atomically moves lineAddr (if present) to Shared and returns
+// the state it held; CAS loop for the same reason as invalidateSlot. Caller
+// holds c.mu.
+func (c *cacheFields) downgradeSlot(lineAddr uint64) State {
 	base := int(lineAddr&c.setMask) * c.assoc
 	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.states[i] != Invalid {
-			st := c.states[i]
-			c.states[i] = Shared
-			return st
+		if c.tags[i] != lineAddr {
+			continue
+		}
+		for {
+			st := c.stAtomic(i)
+			if st == Invalid || st == Shared {
+				return st
+			}
+			if atomic.CompareAndSwapUint32(&c.states[i],
+				uint32(st), uint32(Shared)) {
+				return st
+			}
 		}
 	}
 	return Invalid
+}
+
+// invalidate is invalidateSlot under the bus-side mutex.
+func (c *Cache) invalidate(lineAddr uint64) State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.invalidateSlot(lineAddr)
+}
+
+// downgrade is downgradeSlot under the bus-side mutex.
+func (c *Cache) downgrade(lineAddr uint64) State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.downgradeSlot(lineAddr)
 }
 
 // Flush invalidates every line, returning the number of dirty lines written
@@ -241,12 +377,13 @@ func (c *Cache) downgrade(lineAddr uint64) State {
 func (c *Cache) Flush() int {
 	dirty := 0
 	for i := range c.states {
-		if c.states[i] == Modified {
+		if c.st(i) == Modified {
 			dirty++
 		}
-		c.states[i] = Invalid
+		atomic.StoreUint32(&c.states[i], uint32(Invalid))
 		c.tags[i] = 0
 		c.stamps[i] = 0
+		c.priv[i] = 0
 	}
 	return dirty
 }
@@ -259,8 +396,8 @@ func (c *Cache) Snapshot() map[uint64]State {
 	defer c.mu.Unlock()
 	out := make(map[uint64]State)
 	for i := range c.states {
-		if c.states[i] != Invalid {
-			out[c.tags[i]] = c.states[i]
+		if c.st(i) != Invalid {
+			out[c.tags[i]] = c.st(i)
 		}
 	}
 	return out
@@ -275,8 +412,8 @@ func (c *Cache) ForceState(lineAddr uint64, st State) bool {
 	defer c.mu.Unlock()
 	base := int(lineAddr&c.setMask) * c.assoc
 	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.states[i] != Invalid {
-			c.states[i] = st
+		if c.tags[i] == lineAddr && c.st(i) != Invalid {
+			atomic.StoreUint32(&c.states[i], uint32(st))
 			return true
 		}
 	}
@@ -287,7 +424,7 @@ func (c *Cache) ForceState(lineAddr uint64, st State) bool {
 func (c *Cache) Live() int {
 	n := 0
 	for i := range c.states {
-		if c.states[i] != Invalid {
+		if c.st(i) != Invalid {
 			n++
 		}
 	}

@@ -158,6 +158,35 @@ func TranslationCache(ctx *machine.Context) error {
 	return ctx.AuditTranslationCache()
 }
 
+// BusConservation checks counter conservation across the sharded merge: the
+// bus transaction counters live in padded per-cache blocks and the context
+// counters in per-context (and, during omp regions, per-thread shard)
+// blocks, yet after both merges every L2 miss of every context must account
+// for exactly one bus miss transaction and vice versa:
+//
+//	Σ contexts' L2Misses == bus ReadMisses + WriteMisses
+//
+// Local L2 hits — including the lock-free private-line fast path — generate
+// no transaction, and every transaction that misses locally is counted as an
+// L2 miss by exactly one context, so any drift means a counter was lost or
+// double-merged. A nil bus (coherence disabled) is trivially consistent.
+func BusConservation(m *machine.Machine) error {
+	b := m.Bus()
+	if b == nil {
+		return nil
+	}
+	var l2Misses uint64
+	for _, ctx := range m.Contexts() {
+		l2Misses += ctx.Ctr.L2Misses
+	}
+	if busMisses := b.ReadMisses() + b.WriteMisses(); busMisses != l2Misses {
+		return fmt.Errorf(
+			"check: bus conservation: merged bus miss transactions %d (read %d + write %d) != merged context L2 misses %d",
+			busMisses, b.ReadMisses(), b.WriteMisses(), l2Misses)
+	}
+	return nil
+}
+
 // All runs every audit over a quiescent machine: the counter conservation
 // laws over the sum of all contexts (and over each context individually,
 // since the laws hold per context too), the TLB and translation-cache
@@ -182,6 +211,9 @@ func All(m *machine.Machine) error {
 		errs = append(errs, fmt.Errorf("aggregate: %w", err))
 	}
 	if err := MESI(m.Bus()); err != nil {
+		errs = append(errs, err)
+	}
+	if err := BusConservation(m); err != nil {
 		errs = append(errs, err)
 	}
 	return errors.Join(errs...)

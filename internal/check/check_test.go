@@ -67,6 +67,42 @@ func TestAllHoldsOnCoherentRun(t *testing.T) {
 	}
 }
 
+// TestBusConservationAudit verifies the cross-merge conservation law is not
+// vacuously green: a clean coherent run passes, and losing or double-merging
+// one counter on either side of the context/bus boundary is flagged.
+func TestBusConservationAudit(t *testing.T) {
+	model := machine.Opteron270()
+	model.Coherent = true
+	m, ctxs := newMachine(t, model, 4, 64, units.Size4K)
+	for i, c := range ctxs {
+		c.AccessRange(0, 4096, 8, i%2 == 0)
+	}
+	if err := BusConservation(m); err != nil {
+		t.Fatalf("clean coherent run flagged: %v", err)
+	}
+	// Drop an L2 miss, as a lost shard during the deterministic merge would.
+	ctxs[2].Ctr.L2Misses--
+	if err := BusConservation(m); err == nil {
+		t.Fatal("lost context L2 miss not flagged")
+	}
+	// Double-merge it back and one more: now the contexts over-count.
+	ctxs[2].Ctr.L2Misses += 2
+	if err := BusConservation(m); err == nil {
+		t.Fatal("double-merged context L2 miss not flagged")
+	}
+	ctxs[2].Ctr.L2Misses--
+	if err := All(m); err != nil {
+		t.Fatalf("restored machine still flagged: %v", err)
+	}
+}
+
+func TestBusConservationNilBus(t *testing.T) {
+	m, _ := newMachine(t, machine.Opteron270(), 1, 4, units.Size4K)
+	if err := BusConservation(m); err != nil {
+		t.Fatalf("nil bus flagged: %v", err)
+	}
+}
+
 // TestCountersFlagsMutations perturbs each field that participates in a
 // conservation law and verifies the audit is not vacuously green.
 func TestCountersFlagsMutations(t *testing.T) {

@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"hugeomp/internal/pagetable"
+	"hugeomp/internal/units"
+)
+
+// TestCoherentConcurrentAccessRange drives all four coherent Opteron contexts
+// from real goroutines through overlapping bulk ranges and gathers — private
+// partitions that stay on the lock-free fast path plus a contended shared
+// window that forces run-level bus transactions — and then audits the two
+// properties concurrency could break: every context L2 miss is exactly one
+// bus transaction (the counters conserve across the per-cache shards), and
+// the MESI single-owner discipline holds on the contended lines. Run under
+// -race this also proves the fast path publishes states safely.
+func TestCoherentConcurrentAccessRange(t *testing.T) {
+	pt := pagetable.New()
+	mapRange(t, pt, 0, 4*units.MB, units.Size4K)
+	m := New(coherentOpteron())
+	m.AttachProcess(pt)
+	ctxs, err := m.Configure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sharedBase = units.Addr(3 * units.MB)
+	var wg sync.WaitGroup
+	for i, c := range ctxs {
+		wg.Add(1)
+		go func(i int, c *Context) {
+			defer wg.Done()
+			base := units.Addr(int64(i) * 512 * units.KB) // private partition
+			idx := make([]int64, 512)
+			for j := range idx {
+				idx[j] = int64((j*37 + i*13) % 4096)
+			}
+			for rep := 0; rep < 16; rep++ {
+				c.AccessRange(base, 4096, 8, rep%2 == 0)
+				c.AccessRange(sharedBase, 2048, 8, rep%3 == 0)
+				c.GatherRange(base, 8, idx)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	var l2Misses uint64
+	for _, c := range ctxs {
+		l2Misses += c.Ctr.L2Misses
+	}
+	b := m.Bus()
+	if busMisses := b.ReadMisses() + b.WriteMisses(); busMisses != l2Misses {
+		t.Errorf("conservation broken: %d bus miss transactions != %d context L2 misses",
+			busMisses, l2Misses)
+	}
+	for off := int64(0); off < 2048*8; off += 64 {
+		line := (uint64(sharedBase) + uint64(off)) / 64
+		mo, e, s := b.Owners(line)
+		if mo+e > 1 || (mo+e == 1 && s > 0) {
+			t.Errorf("line %#x: %d Modified, %d Exclusive, %d Shared owners", line, mo, e, s)
+		}
+	}
+}

@@ -87,6 +87,15 @@ type Context struct {
 	idxTmp  []int64
 	idxCnt  []int32
 
+	// Run-batch scratch for the coherent-bus bulk paths (see flushRuns),
+	// reused across calls so steady-state ranges are allocation-free.
+	runLine  []uint64
+	runExtra []int32
+	runKind  []uint8
+	pendIdx  []int32
+	pendLine []uint64
+	pendOut  []cache.LineTxn
+
 	// Shootdown mailbox: cross-context TLB invalidations are delivered like
 	// IPIs — enqueued by the sender, drained by the owning goroutine at its
 	// next access — so no other goroutine ever mutates this context's TLBs.
@@ -253,6 +262,16 @@ func (c *Context) cacheAccess(line uint64, write bool) uint64 {
 		return c.costs.L1HitCyc
 	}
 	c.Ctr.L1Misses++
+	// Private-line fast path: with a private L2 on a coherent bus, an owner
+	// hit that needs no bus transaction (any read hit, or a write hit on an
+	// M line or a still-private E line) is served lock-free — no shard lock,
+	// no per-cache mutex. Counter-equivalent to the locked path: these hits
+	// touch no bus counters there either.
+	if c.machine.bus != nil && c.l2Mu == nil && c.l2.FastAccess(line, write) {
+		c.Ctr.L2Hits++
+		c.lastMissValid = false
+		return c.costs.L2HitCyc
+	}
 	// Only the L2/bus lookup touches shared state; counters and prefetcher
 	// state are per-context, so the lock window stays minimal (no defer —
 	// this is the hottest path in the simulator).
@@ -299,6 +318,158 @@ func (c *Context) cacheAccess(line uint64, write bool) uint64 {
 		cyc += c.costs.FlushCyc
 	}
 	return cyc
+}
+
+// Resolution outcomes of a collected line run (see flushRuns).
+const (
+	runPending uint8 = iota
+	runL1Hit
+	runL2Hit
+	runMem    // memory fill
+	runMemItv // memory fill supplied by a peer cache (cache-to-cache)
+)
+
+// batchRuns reports whether the bulk paths may collect line runs and resolve
+// them through batched bus transactions: a coherent bus, a private L2 (no
+// l2Mu — a truly shared L2 serialises on its mutex anyway), and an L2 with
+// at least one set per line of a shard group. The set-count condition makes
+// the lines of one group occupy pairwise-distinct sets, which is what lets a
+// deferred group transaction commute with the fast-path hits attempted
+// between its lines (no victim-selection interaction between batch members).
+func (c *Context) batchRuns() bool {
+	return c.machine.bus != nil && c.l2Mu == nil && c.l2.Sets() >= cache.GroupLines
+}
+
+// pushRun collects one line run (head line plus extra same-line follow-up
+// accesses) for deferred resolution by flushRuns.
+func (c *Context) pushRun(line uint64, extra int32) {
+	c.runLine = append(c.runLine, line)
+	c.runExtra = append(c.runExtra, extra)
+}
+
+// flushRuns resolves the line runs collected from one page segment and
+// returns their cycle cost. It is the run-transaction counterpart of calling
+// cacheAccess once per run head, restructured into three passes so a whole
+// shard group of L2 misses becomes one bus transaction:
+//
+//  1. L1 lookups, in access order (L1 state never depends on L2 outcomes);
+//  2. L2 resolution for the L1 misses, in access order: the private-line
+//     fast path first, then one Bus.AccessLines transaction per shard group
+//     for the leftovers. The pending batch is flushed whenever the next
+//     miss crosses into a different group, so operations never reorder
+//     across groups; within a group the batch members occupy distinct L2
+//     sets (batchRuns' geometry gate), so deferring them past the group's
+//     fast-path hits commutes.
+//  3. cycle charging and prefetcher bookkeeping, in access order (the
+//     stream-detector state is order-sensitive, so it runs only after every
+//     run's outcome is known).
+//
+// The per-line counter updates and cache-state evolution are exactly those
+// of the per-line path; the equivalence is property-tested against
+// AccessRangeScalar/GatherRangeScalar on coherent machines.
+func (c *Context) flushRuns(write bool) uint64 {
+	nr := len(c.runLine)
+	if nr == 0 {
+		return 0
+	}
+	if cap(c.runKind) < nr {
+		c.runKind = make([]uint8, nr, cap(c.runLine))
+	}
+	c.runKind = c.runKind[:nr]
+
+	// Pass 1: L1.
+	for r, line := range c.runLine {
+		if c.l1.Access(line, write).Hit {
+			c.Ctr.L1Hits++
+			c.runKind[r] = runL1Hit
+		} else {
+			c.Ctr.L1Misses++
+			c.runKind[r] = runPending
+		}
+	}
+
+	// Pass 2: L2 fast path + batched bus transactions.
+	bus := c.machine.bus
+	c.pendIdx = c.pendIdx[:0]
+	c.pendLine = c.pendLine[:0]
+	flush := func() {
+		if len(c.pendLine) == 0 {
+			return
+		}
+		if cap(c.pendOut) < len(c.pendLine) {
+			c.pendOut = make([]cache.LineTxn, len(c.pendLine))
+		}
+		out := c.pendOut[:len(c.pendLine)]
+		bus.AccessLines(c.l2, c.pendLine, write, out)
+		for k, r := range c.pendIdx {
+			if out[k].Hit {
+				c.Ctr.L2Hits++
+				c.runKind[r] = runL2Hit
+			} else if out[k].Intervention {
+				c.Ctr.L2Misses++
+				c.runKind[r] = runMemItv
+			} else {
+				c.Ctr.L2Misses++
+				c.runKind[r] = runMem
+			}
+		}
+		c.pendIdx = c.pendIdx[:0]
+		c.pendLine = c.pendLine[:0]
+	}
+	for r, line := range c.runLine {
+		if c.runKind[r] != runPending {
+			continue
+		}
+		if len(c.pendLine) > 0 && cache.GroupOf(line) != cache.GroupOf(c.pendLine[0]) {
+			flush()
+		}
+		if c.l2.FastAccess(line, write) {
+			c.Ctr.L2Hits++
+			c.runKind[r] = runL2Hit
+			continue
+		}
+		c.pendIdx = append(c.pendIdx, int32(r))
+		c.pendLine = append(c.pendLine, line)
+	}
+	flush()
+
+	// Pass 3: cycles.
+	var busy uint64
+	hitCyc := c.costs.ExecCyc + c.costs.L1HitCyc
+	for r, line := range c.runLine {
+		busy += c.costs.ExecCyc
+		switch c.runKind[r] {
+		case runL1Hit:
+			busy += c.costs.L1HitCyc
+		case runL2Hit:
+			busy += c.costs.L2HitCyc
+			c.lastMissValid = false
+		default:
+			cyc := c.costs.MemCyc
+			if c.lastMissValid && line == c.lastMissLine+1 && line%64 != 0 {
+				cyc = c.costs.StreamCyc
+			}
+			c.lastMissLine = line
+			c.lastMissValid = true
+			if c.runKind[r] == runMemItv {
+				cyc = c.costs.C2CCyc
+			}
+			c.Ctr.MemCyc += cyc
+			if c.smtFlush {
+				c.Ctr.SMTSwitches++
+				c.Ctr.FlushCycles += c.costs.FlushCyc
+				cyc += c.costs.FlushCyc
+			}
+			busy += cyc
+		}
+		if extra := c.runExtra[r]; extra > 0 {
+			c.Ctr.L1Hits += uint64(extra)
+			busy += uint64(extra) * hitCyc
+		}
+	}
+	c.runLine = c.runLine[:0]
+	c.runExtra = c.runExtra[:0]
+	return busy
 }
 
 func (c *Context) dataAccess(va units.Addr, write bool) {
@@ -423,6 +594,7 @@ func (c *Context) rangeScalar(base units.Addr, n int, stride int64, write bool) 
 func (c *Context) rangeBulk(base units.Addr, n int, stride int64, write bool) uint64 {
 	var busy uint64
 	hitCyc := c.costs.ExecCyc + c.costs.L1HitCyc
+	batched := c.batchRuns()
 	abs := stride
 	if abs < 0 {
 		abs = -abs
@@ -455,9 +627,17 @@ func (c *Context) rangeBulk(base units.Addr, n int, stride int64, write bool) ui
 		if abs >= units.CacheLineSize {
 			// At most one element per line: the translation is amortised
 			// but every element still probes the cache hierarchy.
-			for j := 0; j < segN; j++ {
-				eva := va + units.Addr(int64(j)*stride)
-				busy += c.costs.ExecCyc + c.cacheAccess(uint64(eva)>>lineShift, write)
+			if batched {
+				for j := 0; j < segN; j++ {
+					eva := va + units.Addr(int64(j)*stride)
+					c.pushRun(uint64(eva)>>lineShift, 0)
+				}
+				busy += c.flushRuns(write)
+			} else {
+				for j := 0; j < segN; j++ {
+					eva := va + units.Addr(int64(j)*stride)
+					busy += c.costs.ExecCyc + c.cacheAccess(uint64(eva)>>lineShift, write)
+				}
 			}
 		} else {
 			// When a positive stride divides the line size, every
@@ -486,12 +666,19 @@ func (c *Context) rangeBulk(base units.Addr, n int, stride int64, write bool) ui
 				if k > segN-j {
 					k = segN - j
 				}
-				busy += c.costs.ExecCyc + c.cacheAccess(line, write)
-				if k > 1 {
-					c.Ctr.L1Hits += uint64(k - 1)
-					busy += uint64(k-1) * hitCyc
+				if batched {
+					c.pushRun(line, int32(k-1))
+				} else {
+					busy += c.costs.ExecCyc + c.cacheAccess(line, write)
+					if k > 1 {
+						c.Ctr.L1Hits += uint64(k - 1)
+						busy += uint64(k-1) * hitCyc
+					}
 				}
 				j += k
+			}
+			if batched {
+				busy += c.flushRuns(write)
 			}
 		}
 		i += segN
@@ -611,6 +798,7 @@ func (c *Context) gatherScalar(base units.Addr, elemSize int64, sorted []int64, 
 func (c *Context) gatherBulk(base units.Addr, elemSize int64, sorted []int64, write bool) uint64 {
 	var busy uint64
 	hitCyc := c.costs.ExecCyc + c.costs.L1HitCyc
+	batched := c.batchRuns()
 	n := len(sorted)
 	for i := 0; i < n; {
 		if c.shootFlag.Load() {
@@ -636,12 +824,19 @@ func (c *Context) gatherBulk(base units.Addr, elemSize int64, sorted []int64, wr
 			for i+k < n && uint64(base+units.Addr(sorted[i+k]*elemSize))>>lineShift == line {
 				k++
 			}
-			busy += c.costs.ExecCyc + c.cacheAccess(line, write)
-			if k > 1 {
-				c.Ctr.L1Hits += uint64(k - 1)
-				busy += uint64(k-1) * hitCyc
+			if batched {
+				c.pushRun(line, int32(k-1))
+			} else {
+				busy += c.costs.ExecCyc + c.cacheAccess(line, write)
+				if k > 1 {
+					c.Ctr.L1Hits += uint64(k - 1)
+					busy += uint64(k-1) * hitCyc
+				}
 			}
 			i += k
+		}
+		if batched {
+			busy += c.flushRuns(write)
 		}
 	}
 	return busy

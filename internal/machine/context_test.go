@@ -21,12 +21,23 @@ type equivCfg struct {
 	ps      units.PageSize
 }
 
+func coherentOpteron() Model {
+	m := Opteron270()
+	m.Coherent = true
+	return m
+}
+
 func equivConfigs() []equivCfg {
 	return []equivCfg{
 		{"opteron/1thr/partition/4K", Opteron270(), 1, SharePartition, units.Size4K},
 		{"opteron/1thr/partition/2M", Opteron270(), 1, SharePartition, units.Size2M},
 		{"xeon/8thr/partition/4K", XeonHT(), 8, SharePartition, units.Size4K},
 		{"xeon/8thr/sharetrue/2M", XeonHT(), 8, ShareTrue, units.Size2M},
+		// Coherent Opteron: the run-level bus transactions (AccessLines) and
+		// the private-line fast path must be counter-identical to the scalar
+		// per-line protocol. 4 threads so every transaction snoops 3 peers.
+		{"opteron-coherent/4thr/partition/4K", coherentOpteron(), 4, SharePartition, units.Size4K},
+		{"opteron-coherent/4thr/partition/2M", coherentOpteron(), 4, SharePartition, units.Size2M},
 	}
 }
 

@@ -108,6 +108,18 @@ type RT struct {
 
 	msgBuf [][]byte // per-thread scratch for barrier payloads
 
+	// deltas holds each thread's counter delta for the current region in a
+	// padded per-thread shard (written concurrently by the team's goroutines
+	// at region exit without false sharing, merged in ascending tid order at
+	// the join — the deterministic merge point).
+	deltas *profile.ShardedCounters
+	// snap is the virtual-time scheduler's entry-snapshot scratch.
+	snap []profile.Counters
+	// partials is the reduction scratch: one padded slot per thread, so
+	// concurrent partial updates never share a cache line (and never need a
+	// lock).
+	partials []reducePartial
+
 	// Per-code-region profile (the OProfile per-symbol view): aggregated
 	// counter deltas and wall cycles for every named CodeRegion.
 	regionProf map[string]*RegionProfile
@@ -146,6 +158,9 @@ func New(m *machine.Machine, nthreads int, opts ...Option) (*RT, error) {
 	for i := range rt.msgBuf {
 		rt.msgBuf[i] = make([]byte, shmem.MaxMsgSize)
 	}
+	rt.deltas = profile.NewShardedCounters(nthreads)
+	rt.snap = make([]profile.Counters, nthreads)
+	rt.partials = make([]reducePartial, nthreads)
 	for _, o := range opts {
 		o(rt)
 	}
@@ -198,26 +213,27 @@ func (rt *RT) Parallel(code *CodeRegion, body func(tid int, c *machine.Context))
 	defer func() { rt.inPar = false }()
 
 	n := len(rt.ctxs)
-	before := make([]profile.Counters, n)
-	for i, c := range rt.ctxs {
-		before[i] = c.Ctr
-	}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(tid int) {
 			defer wg.Done()
 			c := rt.ctxs[tid]
+			// Entry snapshot and exit delta are the worker's own: each
+			// thread writes only its padded shard, concurrently but without
+			// false sharing; the join below is the merge point.
+			entry := c.Ctr
 			code.touch(c)
 			body(tid, c)
 			rt.barrierWait(tid)
+			*rt.deltas.Shard(tid) = c.Ctr.Delta(entry)
 		}(i)
 	}
 	wg.Wait()
 
 	// Wall-clock cost: SMT siblings serialise on their core, so sum busy
 	// deltas per core and take the slowest core.
-	rt.accountRegion(code, before)
+	rt.accountRegion(code)
 }
 
 // barrierWait performs the team barrier with real messages over the mesh,
@@ -333,7 +349,7 @@ func (rt *RT) virtualTimeFor(code *CodeRegion, n int, f For, body func(tid int, 
 	defer func() { rt.inPar = false }()
 
 	nt := len(rt.ctxs)
-	before := make([]profile.Counters, nt)
+	before := rt.snap
 	for i, c := range rt.ctxs {
 		before[i] = c.Ctr
 		code.touch(c)
@@ -367,7 +383,10 @@ func (rt *RT) virtualTimeFor(code *CodeRegion, n int, f For, body func(tid int, 
 		remaining -= sz
 	}
 	rt.sequentialBarrier()
-	rt.accountRegion(code, before)
+	for i, c := range rt.ctxs {
+		*rt.deltas.Shard(i) = c.Ctr.Delta(before[i])
+	}
+	rt.accountRegion(code)
 }
 
 // sequentialBarrier performs the team barrier from a single goroutine,
@@ -413,10 +432,12 @@ func (rt *RT) sequentialBarrier() {
 	}
 }
 
-// accountRegion charges the wall clock for a completed region given the
-// per-context counter snapshots taken at region start, and attributes the
-// deltas to the region's profile entry.
-func (rt *RT) accountRegion(code *CodeRegion, before []profile.Counters) {
+// accountRegion charges the wall clock for a completed region from the
+// per-thread delta shards filled at region exit, and attributes the deltas
+// to the region's profile entry. It runs after the team joins, reading the
+// shards in ascending tid order — the deterministic merge point for the
+// sharded counters.
+func (rt *RT) accountRegion(code *CodeRegion) {
 	// Per-core aggregation: SMT siblings serialise on the execution units.
 	// Under flush-on-switch SMT (Xeon) memory stalls serialise too; under
 	// interleaved SMT (Niagara) one thread's memory stalls are filled with
@@ -429,11 +450,11 @@ func (rt *RT) accountRegion(code *CodeRegion, before []profile.Counters) {
 	coreMaxThread := map[int]uint64{}
 	for i, c := range rt.ctxs {
 		core := rt.m.CoreOf(c)
-		d := c.Ctr.Busy - before[i].Busy
-		coreBusy[core] += d
-		coreMem[core] += c.Ctr.MemCyc - before[i].MemCyc
-		if d > coreMaxThread[core] {
-			coreMaxThread[core] = d
+		d := rt.deltas.Shard(i)
+		coreBusy[core] += d.Busy
+		coreMem[core] += d.MemCyc
+		if d.Busy > coreMaxThread[core] {
+			coreMaxThread[core] = d.Busy
 		}
 	}
 	var max uint64
@@ -465,9 +486,8 @@ func (rt *RT) accountRegion(code *CodeRegion, before []profile.Counters) {
 	}
 	prof.Entries++
 	prof.WallCycles += regionWall
-	for i, c := range rt.ctxs {
-		d := c.Ctr.Delta(before[i])
-		prof.Counters.Add(&d)
+	for i := range rt.ctxs {
+		prof.Counters.Add(rt.deltas.Shard(i))
 	}
 }
 
@@ -482,33 +502,42 @@ func (rt *RT) RegionProfiles() []*RegionProfile {
 	return out
 }
 
+// reducePartial is one thread's reduction slot, padded to a full host cache
+// line so concurrent partial updates from different threads never share one.
+type reducePartial struct {
+	v float64
+	_ [56]byte
+}
+
 // ParallelForReduce runs a worksharing loop whose body returns a partial
 // float64 value; partials are combined pairwise up a tree with real messages
 // (`reduction(+:x)` and friends).
+//
+// Each thread folds into its own padded partial slot — no lock, no shared
+// line — and the master combines the slots in ascending tid order after the
+// join, so the float summation order is deterministic by construction (it
+// never depends on thread finish order).
 func (rt *RT) ParallelForReduce(code *CodeRegion, n int, f For, identity float64,
 	body func(tid int, c *machine.Context, lo, hi int) float64,
 	combine func(a, b float64) float64) float64 {
 
 	nt := len(rt.ctxs)
-	partials := make([]float64, nt)
+	partials := rt.partials
 	for i := range partials {
-		partials[i] = identity
+		partials[i].v = identity
 	}
-	var mu sync.Mutex
 	inner := func(tid int, c *machine.Context, lo, hi int) {
 		v := body(tid, c, lo, hi)
-		mu.Lock()
-		partials[tid] = combine(partials[tid], v)
-		mu.Unlock()
+		partials[tid].v = combine(partials[tid].v, v)
 	}
 	rt.ParallelFor(code, n, f, inner)
 
 	// Tree combine with message costs charged to the master-side wall: the
 	// reduction happens inside the implicit barrier in real runtimes; here
 	// we charge ⌈log2 T⌉ message rounds.
-	result := partials[0]
+	result := partials[0].v
 	for i := 1; i < nt; i++ {
-		result = combine(result, partials[i])
+		result = combine(result, partials[i].v)
 	}
 	if nt > 1 {
 		rounds := uint64(math.Ceil(math.Log2(float64(nt))))

@@ -150,6 +150,40 @@ func TestReduction(t *testing.T) {
 	}
 }
 
+// TestReductionDeterministic: the mutex-free reduction combines the padded
+// per-thread partials in tid order after the join, so a float combine whose
+// result depends on operand order must come out bit-identical on every run —
+// equal to the serial tid-order fold — no matter how the threads interleave.
+func TestReductionDeterministic(t *testing.T) {
+	const threads, n = 4, 1000
+	// Mixed magnitudes make float addition order-sensitive.
+	val := func(i int) float64 { return 1e16*float64(i%7) + 1e-3*float64(i) }
+	body := func(tid int, c *machine.Context, lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += val(i)
+		}
+		return s
+	}
+	add := func(a, b float64) float64 { return a + b }
+
+	// Serial reference: fold the per-thread partials in tid order.
+	ref := newRT(t, machine.Opteron270(), threads)
+	want := 0.0
+	for tid := 0; tid < threads; tid++ {
+		lo, hi := tid*n/threads, (tid+1)*n/threads
+		want = add(want, body(tid, ref.Contexts()[0], lo, hi))
+	}
+
+	for rep := 0; rep < 10; rep++ {
+		rt := newRT(t, machine.Opteron270(), threads)
+		got := rt.ParallelForReduce(nil, n, For{Schedule: Static}, 0, body, add)
+		if got != want {
+			t.Fatalf("rep %d: reduction = %v, want tid-order fold %v", rep, got, want)
+		}
+	}
+}
+
 func TestBarrierMovesRealMessages(t *testing.T) {
 	for _, algo := range []BarrierAlgo{CentralBarrier, TreeBarrier} {
 		rt := newRT(t, machine.Opteron270(), 4, WithBarrier(algo))
@@ -157,7 +191,7 @@ func TestBarrierMovesRealMessages(t *testing.T) {
 		var msgs uint64
 		for i := 0; i < 4; i++ {
 			for j := 0; j < 4; j++ {
-				msgs += rt.Mesh().Chan(i, j).Msgs.Load()
+				msgs += rt.Mesh().Chan(i, j).Msgs()
 			}
 		}
 		if msgs == 0 {

@@ -1,0 +1,73 @@
+package profile
+
+import "unsafe"
+
+// counterShard is one thread's Counters rounded up to a whole number of
+// 64-byte host cache lines, so adjacent shards meet exactly on a line
+// boundary and concurrent writers never false-share.
+type counterShard struct {
+	c Counters
+	_ [(64 - unsafe.Sizeof(Counters{})%64) % 64]byte
+}
+
+const _ uintptr = -(unsafe.Sizeof(counterShard{}) % 64)
+
+// ShardedCounters is a set of per-thread Counters blocks laid out so that
+// concurrent writers never false-share: the backing array is aligned to a
+// 64-byte boundary and each block is a whole number of cache lines. Each
+// shard is written by exactly one goroutine while a parallel region runs;
+// Total merges the shards in ascending shard order — a deterministic merge
+// point (omp region join, SettleForAudit) regardless of which thread
+// finished first.
+type ShardedCounters struct {
+	shards []counterShard
+	buf    []byte // keeps the aligned backing array alive
+}
+
+// NewShardedCounters allocates n aligned shards, all zero.
+func NewShardedCounters(n int) *ShardedCounters {
+	if n <= 0 {
+		return &ShardedCounters{}
+	}
+	sz := int(unsafe.Sizeof(counterShard{}))
+	buf := make([]byte, n*sz+63)
+	off := 0
+	if mis := uintptr(unsafe.Pointer(&buf[0])) % 64; mis != 0 {
+		off = int(64 - mis)
+	}
+	shards := unsafe.Slice((*counterShard)(unsafe.Pointer(&buf[off])), n)
+	return &ShardedCounters{shards: shards, buf: buf}
+}
+
+// Len returns the number of shards.
+func (s *ShardedCounters) Len() int { return len(s.shards) }
+
+// Shard returns shard i for its single writer.
+func (s *ShardedCounters) Shard(i int) *Counters { return &s.shards[i].c }
+
+// Total merges every shard in ascending shard order. Call only at quiescent
+// points (after the writers have joined); the ascending order makes the
+// merge deterministic irrespective of thread finish order.
+func (s *ShardedCounters) Total() Counters {
+	var t Counters
+	for i := range s.shards {
+		t.Add(&s.shards[i].c)
+	}
+	return t
+}
+
+// Reset zeroes every shard.
+func (s *ShardedCounters) Reset() {
+	for i := range s.shards {
+		s.shards[i].c = Counters{}
+	}
+}
+
+// Aligned reports whether the shard array actually landed on a 64-byte
+// boundary (always true by construction; exported for the layout test).
+func (s *ShardedCounters) Aligned() bool {
+	if len(s.shards) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&s.shards[0]))%64 == 0
+}

@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestShardedLayout(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 8, 32} {
+		s := NewShardedCounters(n)
+		if s.Len() != n {
+			t.Fatalf("Len() = %d, want %d", s.Len(), n)
+		}
+		if !s.Aligned() {
+			t.Errorf("n=%d: shard array not 64-byte aligned", n)
+		}
+		stride := unsafe.Sizeof(counterShard{})
+		if stride%64 != 0 {
+			t.Fatalf("shard stride %d is not a whole number of cache lines", stride)
+		}
+		for i := 1; i < n; i++ {
+			a := uintptr(unsafe.Pointer(s.Shard(i - 1)))
+			b := uintptr(unsafe.Pointer(s.Shard(i)))
+			if b-a != stride {
+				t.Errorf("n=%d: shards %d and %d are %d bytes apart, want %d", n, i-1, i, b-a, stride)
+			}
+		}
+	}
+}
+
+// Property: for any per-thread counter deltas, the sharded merge equals the
+// serial accumulation exactly — field for field, with no loss and no double
+// count — independent of shard count.
+func TestShardedTotalMatchesSerial(t *testing.T) {
+	f := func(parts []Counters) bool {
+		s := NewShardedCounters(len(parts))
+		var want Counters
+		for i := range parts {
+			*s.Shard(i) = parts[i]
+			want.Add(&parts[i])
+		}
+		return s.Total() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardedReset(t *testing.T) {
+	s := NewShardedCounters(4)
+	s.Shard(2).Loads = 7
+	s.Reset()
+	if s.Total() != (Counters{}) {
+		t.Error("Reset left residue in a shard")
+	}
+}
+
+// TestShardedConcurrentWriters has one goroutine per shard hammering its own
+// block while the neighbours do the same; under -race this verifies the
+// single-writer discipline needs no atomics, and the post-join Total must see
+// every increment.
+func TestShardedConcurrentWriters(t *testing.T) {
+	const shards, iters = 8, 10000
+	s := NewShardedCounters(shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := s.Shard(i)
+			for k := 0; k < iters; k++ {
+				c.Loads++
+				c.L1Hits++
+				c.Busy += 3
+			}
+		}(i)
+	}
+	wg.Wait()
+	got := s.Total()
+	if got.Loads != shards*iters || got.L1Hits != shards*iters || got.Busy != 3*shards*iters {
+		t.Errorf("merged totals %d/%d/%d, want %d/%d/%d",
+			got.Loads, got.L1Hits, got.Busy, shards*iters, shards*iters, 3*shards*iters)
+	}
+}

@@ -97,17 +97,33 @@ type slot struct {
 // Channel is a single-producer single-consumer message ring between two
 // processes (one direction). It performs exactly one copy: sender into the
 // shared slot; the receiver's view is the slot itself.
+//
+// The sender-owned and receiver-owned fields live on separate padded cache
+// lines: the counters are plain single-writer words (SPSC — only the sender
+// touches simBytes, only the receiver touches msgs), so bumping one no
+// longer bounces the line the other side's ring cursor lives on. Read the
+// counters only at quiescent points (after the endpoints have joined).
 type Channel struct {
 	slots [MaxInFlight]slot
-	head  atomic.Uint64 // next slot the sender fills
-	tail  atomic.Uint64 // next slot the receiver drains
 
-	// SimBytes counts payload bytes that crossed the channel, so the cost
-	// model can charge for them.
-	SimBytes atomic.Uint64
-	// Msgs counts delivered messages.
-	Msgs atomic.Uint64
+	// Sender-owned line.
+	head     atomic.Uint64 // next slot the sender fills
+	simBytes uint64        // payload bytes sent, for the cost model
+	_        [48]byte
+
+	// Receiver-owned line.
+	tail atomic.Uint64 // next slot the receiver drains
+	msgs uint64        // messages delivered
+	_    [48]byte
 }
+
+// SimBytes returns the payload bytes that crossed the channel. Quiescent
+// read: the sender is the only writer.
+func (c *Channel) SimBytes() uint64 { return c.simBytes }
+
+// Msgs returns the number of delivered messages. Quiescent read: the
+// receiver is the only writer.
+func (c *Channel) Msgs() uint64 { return c.msgs }
 
 // NewChannel creates an empty ring.
 func NewChannel() *Channel { return &Channel{} }
@@ -126,7 +142,7 @@ func (c *Channel) TrySend(data []byte) error {
 	s.n = copy(s.data[:], data)
 	s.flag.Store(slotFull) // release: publishes the payload
 	c.head.Store(h + 1)
-	c.SimBytes.Add(uint64(len(data)))
+	c.simBytes += uint64(len(data))
 	return nil
 }
 
@@ -158,7 +174,7 @@ func (c *Channel) TryRecv(buf []byte) (int, bool) {
 	n := copy(buf, s.data[:s.n])
 	s.flag.Store(slotFree) // recycle the slot
 	c.tail.Store(t + 1)
-	c.Msgs.Add(1)
+	c.msgs++
 	return n, true
 }
 

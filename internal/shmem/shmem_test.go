@@ -70,8 +70,8 @@ func TestChannelRoundTrip(t *testing.T) {
 	if string(buf[:n]) != "hello" {
 		t.Errorf("got %q", buf[:n])
 	}
-	if c.Msgs.Load() != 1 || c.SimBytes.Load() != 5 {
-		t.Errorf("counters = %d msgs %d bytes", c.Msgs.Load(), c.SimBytes.Load())
+	if c.Msgs() != 1 || c.SimBytes() != 5 {
+		t.Errorf("counters = %d msgs %d bytes", c.Msgs(), c.SimBytes())
 	}
 }
 
