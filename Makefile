@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check chaos race bench microbench simbench experiments examples fuzz clean
+.PHONY: all build test check lint chaos race bench microbench simbench experiments examples fuzz clean
 
 all: build test check
 
@@ -13,10 +13,19 @@ build:
 test:
 	$(GO) test ./...
 
+# simlint enforces the simulator's written contracts: determinism (no wall
+# clocks, global rand, or order-sensitive map iteration in simulator
+# packages), lock ordering around the coherence bus, //simlint:atomic field
+# access, and //simlint:padded cache-line layout. See docs/LINTING.md.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
 # Static and concurrency hygiene for the hot simulator paths: vet, gofmt
-# drift, and the race detector over the packages that share state
-# (true-sharing caches, shootdown mailbox, parallel harness).
-check:
+# drift (the gofmt guard walks the whole tree, including the simlint test
+# corpora under internal/lint/*/testdata), simlint, and the race detector
+# over the packages that share state (true-sharing caches, shootdown
+# mailbox, parallel harness).
+check: lint
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi

@@ -1,0 +1,417 @@
+// Command simlint runs the simulator's static contract checks: determinism
+// (no wall clocks, no global rand, no order-sensitive map iteration in
+// simulator packages), lockdiscipline (bus-shard/cache lock ordering, no
+// locks held across bus traffic, no defer-unlock on hot paths), atomicfield
+// (//simlint:atomic fields only touched through sync/atomic) and padding
+// (//simlint:padded layout and //simlint:writer false-sharing checks).
+//
+// Two modes share one engine:
+//
+//	simlint [flags] [packages]      # standalone, defaults to ./...
+//	go vet -vettool=$(which simlint) ./...
+//
+// The second form speaks cmd/go's vettool protocol: -V=full and -flags for
+// the handshake, then a single *.cfg argument per package with the build
+// system supplying export data, so no source re-type-checking of
+// dependencies is needed.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"hugeomp/internal/lint"
+	"hugeomp/internal/lint/analysis"
+	"hugeomp/internal/lint/determinism"
+	"hugeomp/internal/lint/load"
+	"hugeomp/internal/lint/lockdiscipline"
+)
+
+var (
+	versionFlag = flag.String("V", "", "print version and exit (the go command's vettool handshake)")
+	flagsFlag   = flag.Bool("flags", false, "print the tool's flags as JSON and exit (vettool handshake)")
+	jsonFlag    = flag.Bool("json", false, "emit diagnostics as JSON instead of text")
+	contextFlag = flag.Int("c", -1, "display offending line plus this many lines of context")
+
+	detPackages = flag.String("determinism.packages", strings.Join(determinism.Packages, ","),
+		"comma-separated package suffixes held to the determinism contract")
+	lockOrder = flag.String("lockdiscipline.order", lockdiscipline.Order,
+		"lock hierarchy, outermost first, e.g. \"busShard < Cache, cacheFields\"")
+	lockBus = flag.String("lockdiscipline.bus", lockdiscipline.BusTypes,
+		"comma-separated type names whose Access* methods are bus traffic")
+
+	// Per-analyzer enable flags, unitchecker-style: if any is set
+	// explicitly, only the set ones run.
+	enable = map[string]*bool{}
+)
+
+func init() {
+	for _, a := range lint.Analyzers() {
+		enable[a.Name] = flag.Bool(a.Name, false, "run only the "+a.Name+" analyzer (and other explicitly enabled ones)")
+	}
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [flags] [packages]\n   or: go vet -vettool=$(which simlint) [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		handshakeVersion()
+		return
+	}
+	if *flagsFlag {
+		handshakeFlags()
+		return
+	}
+
+	determinism.Packages = splitList(*detPackages)
+	lockdiscipline.Order = *lockOrder
+	lockdiscipline.BusTypes = *lockBus
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettool(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// selected returns the analyzers to run, honouring explicit -<name> flags.
+func selected() []*analysis.Analyzer {
+	all := lint.Analyzers()
+	anySet := false
+	for _, a := range all {
+		if *enable[a.Name] {
+			anySet = true
+		}
+	}
+	if !anySet {
+		return all
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if *enable[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// --- standalone mode -------------------------------------------------------
+
+func standalone(patterns []string) int {
+	pkgs, err := load.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	analyzers := selected()
+	found := false
+	tree := make(jsonTree)
+	for _, p := range pkgs {
+		diags, err := lint.Run(&lint.Unit{
+			Fset:  p.Fset,
+			Files: p.Files,
+			Pkg:   p.Types,
+			Info:  p.Info,
+			Sizes: p.Sizes,
+		}, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", p.ImportPath, err)
+			return 2
+		}
+		for _, d := range diags {
+			found = true
+			if *jsonFlag {
+				tree.add(p.ImportPath, d)
+			} else {
+				printPlain(d)
+			}
+		}
+	}
+	if *jsonFlag {
+		tree.print()
+		return 0
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+func printPlain(d lint.Diagnostic) {
+	fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	if *contextFlag >= 0 {
+		printContext(d.Pos)
+	}
+}
+
+// printContext echoes the offending source line (plus -c lines around it),
+// mirroring go vet's plain output.
+func printContext(pos token.Position) {
+	data, err := os.ReadFile(pos.Filename)
+	if err != nil {
+		return
+	}
+	lines := strings.Split(string(data), "\n")
+	for i := pos.Line - *contextFlag; i <= pos.Line+*contextFlag; i++ {
+		if i >= 1 && i <= len(lines) {
+			fmt.Fprintf(os.Stderr, "%d\t%s\n", i, lines[i-1])
+		}
+	}
+}
+
+// jsonTree mirrors go vet's -json output: package → analyzer → diagnostics.
+type jsonDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+type jsonTree map[string]map[string][]jsonDiag
+
+func (t jsonTree) add(pkgID string, d lint.Diagnostic) {
+	m := t[pkgID]
+	if m == nil {
+		m = make(map[string][]jsonDiag)
+		t[pkgID] = m
+	}
+	m[d.Analyzer] = append(m[d.Analyzer], jsonDiag{Posn: d.Pos.String(), Message: d.Message})
+}
+
+func (t jsonTree) print() {
+	data, err := json.MarshalIndent(t, "", "\t")
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// --- vettool handshake -----------------------------------------------------
+
+// handshakeVersion implements -V=full. cmd/go parses the line for a buildID,
+// so the shape must match what x/tools' unitchecker prints: a hash of the
+// executable stands in for a real build ID.
+func handshakeVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(exe), string(h.Sum(nil)))
+}
+
+// handshakeFlags implements -flags: the JSON flag inventory cmd/go uses to
+// validate which flags it may forward to the tool.
+func handshakeFlags() {
+	type jsonFlagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var descs []jsonFlagDesc
+	flag.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if bv, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = bv.IsBoolFlag()
+		}
+		descs = append(descs, jsonFlagDesc{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(descs)
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// --- vettool .cfg mode -----------------------------------------------------
+
+// vetConfig is the per-package JSON config cmd/go hands a vettool. Field
+// names follow the x/tools unitchecker Config so either side can evolve.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	ModuleVersion             string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func vettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 1
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command also runs the vettool over dependency packages so a
+	// tool can accumulate facts. simlint has no cross-package facts and its
+	// contracts only bind module code, so packages outside any module (the
+	// standard library has an empty ModulePath) get an empty fact file and
+	// nothing else (some of them also trip go/types corner cases that never
+	// matter for module code).
+	if cfg.ModulePath == "" {
+		return writeVetx(cfg)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg)
+			}
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the build system already
+	// produced (cfg.PackageFile), so dependencies are never re-checked
+	// from source.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	sizes := types.SizesFor(cfg.Compiler, runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	conf := types.Config{Importer: imp, Sizes: sizes, GoVersion: cfg.GoVersion}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := lint.Run(&lint.Unit{
+		Fset:  fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+		Sizes: sizes,
+	}, selected())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	if code := writeVetx(cfg); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	if *jsonFlag {
+		tree := make(jsonTree)
+		for _, d := range diags {
+			tree.add(cfg.ID, d)
+		}
+		tree.print()
+		return 0
+	}
+	for _, d := range diags {
+		printPlain(d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeVetx records this package's (empty) fact set where the build system
+// asked for it; cmd/go treats a missing output file as a tool failure.
+func writeVetx(cfg *vetConfig) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -75,9 +75,11 @@ type Result struct {
 // that simply fails into the locked slow path if a peer transition wins the
 // race.
 type cacheFields struct {
-	tags      []uint64
-	stamps    []uint64
-	states    []uint32 // State values, atomically accessed when bus-attached
+	tags   []uint64
+	stamps []uint64
+	// states holds State values, atomically accessed when bus-attached.
+	//simlint:atomic
+	states    []uint32
 	priv      []uint64 // per-line private-fill stamps (see FastAccess)
 	assoc     int
 	sets      int
@@ -98,14 +100,14 @@ type cacheFields struct {
 // Cache pads its fields to a whole number of 64-byte host cache lines so
 // that adjacently allocated caches (the machine layer builds one per
 // context, back to back) never false-share a line between one cache's
-// mutable tail fields (tick, mu) and the next one's slice headers.
+// mutable tail fields (tick, mu) and the next one's slice headers. The
+// whole-lines layout is checked by simlint's padding analyzer.
+//
+//simlint:padded
 type Cache struct {
 	cacheFields
 	_ [(64 - unsafe.Sizeof(cacheFields{})%64) % 64]byte
 }
-
-// compile-time: Cache is a whole number of cache lines.
-const _ uintptr = -(unsafe.Sizeof(Cache{}) % 64)
 
 // New builds a cache from cfg.
 func New(cfg Config) *Cache {
@@ -155,7 +157,11 @@ func (c *Cache) LineAddr(pa units.Addr) uint64 { return uint64(pa) >> c.lineShif
 func (c *Cache) Sets() int { return c.sets }
 
 // st reads the state of way slot i. Plain read: safe on the owner's
-// goroutine and under the bus-side mutex (see cacheFields doc).
+// goroutine and under the bus-side mutex (see cacheFields doc). Every other
+// states access in the package goes through sync/atomic; this accessor is
+// the single sanctioned exception.
+//
+//simlint:ignore atomicfield owner-goroutine/bus-mutex read; the cacheFields doc defines when a plain load is safe
 func (c *cacheFields) st(i int) State { return State(c.states[i]) }
 
 // stAtomic reads the state of way slot i with an atomic load, for lock-free
@@ -174,6 +180,8 @@ func (c *cacheFields) touch(i int) {
 // evicting the set's LRU way. write marks the line dirty (Modified).
 // Coherence (if the cache is attached to a Bus) is handled by the caller via
 // Bus.Access; this method is the raw, single-owner path.
+//
+//simlint:hotpath
 func (c *Cache) Access(lineAddr uint64, write bool) Result {
 	base := int(lineAddr&c.setMask) * c.assoc
 	// Hit scan: tags only, so the common case stays within one or two host
@@ -230,6 +238,8 @@ func (c *Cache) Access(lineAddr uint64, write bool) Result {
 // Everything else (misses, write-upgrades of Shared lines, stale stamps)
 // returns false and must go through Bus.Access. Call only from the owning
 // context's goroutine with the cache attached to a bus.
+//
+//simlint:hotpath
 func (c *Cache) FastAccess(lineAddr uint64, write bool) bool {
 	base := int(lineAddr&c.setMask) * c.assoc
 	for i := base; i < base+c.assoc; i++ {

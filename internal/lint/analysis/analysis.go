@@ -1,0 +1,91 @@
+// Package analysis is a minimal, self-contained reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic) on
+// the standard library alone. The container this repo builds in has no
+// network and no x/tools module, so simlint carries its own framework; the
+// API deliberately mirrors x/tools so the analyzers could be ported to the
+// real framework by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name, a doc string, and a Run function
+// applied to one package at a time. Analyzers are package-local (no
+// cross-package fact propagation): every simlint rule is checkable from a
+// single package plus its type information.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//simlint:ignore <name> <reason>" suppressions.
+	Name string
+
+	// Doc is the one-paragraph description shown by `simlint help`.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one package's syntax and types to an Analyzer's Run.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	// Report delivers one diagnostic. The driver owns it (it applies
+	// //simlint:ignore filtering there, not in the analyzers).
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name; filled by the driver if empty
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Preorder calls fn for every node in every file, in depth-first preorder.
+func Preorder(files []*ast.File, fn func(ast.Node)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// WithStack calls fn for every node in preorder with the path of ancestors
+// (stack[0] is the *ast.File, stack[len-1] is n itself). If fn returns
+// false the node's children are skipped.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				// Children are skipped, so ast.Inspect will not deliver
+				// the matching pop; unwind here.
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}

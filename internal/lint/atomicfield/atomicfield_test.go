@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"hugeomp/internal/lint/analysistest"
+	"hugeomp/internal/lint/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfield.Analyzer, "a")
+}

@@ -1,0 +1,20 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"hugeomp/internal/lint/analysistest"
+	"hugeomp/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	defer func(old []string) { determinism.Packages = old }(determinism.Packages)
+	determinism.Packages = []string{"a"}
+
+	// Corpus "a" holds one true positive and one true negative per rule.
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "a")
+
+	// A package outside the simulator set is exempt even though it reads
+	// the wall clock (the bench harness does, on purpose).
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "outofscope")
+}

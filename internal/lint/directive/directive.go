@@ -1,0 +1,168 @@
+// Package directive parses the //simlint: comment directives that carry the
+// simulator's machine-checked contracts:
+//
+//	//simlint:atomic              field is accessed only via sync/atomic
+//	//simlint:padded              struct must be a 64-byte multiple
+//	//simlint:writer <name>       single-writer field; fields with different
+//	//                            writer names must not share a 64-byte line
+//	//simlint:hotpath             function may not defer mutex unlocks
+//	//simlint:ignore <rule> <why> suppress one rule on this (or the next)
+//	//                            line; the reason is mandatory
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const prefix = "//simlint:"
+
+// A Directive is one parsed //simlint: comment.
+type Directive struct {
+	Kind string // "atomic", "padded", "writer", "hotpath", "ignore", ...
+	Args string // remainder of the line, space-trimmed
+	Pos  token.Pos
+}
+
+// parse extracts a directive from one comment, if present.
+func parse(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, prefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, prefix)
+	kind, args, _ := strings.Cut(rest, " ")
+	kind = strings.TrimSpace(kind)
+	if kind == "" {
+		return Directive{}, false
+	}
+	return Directive{Kind: kind, Args: strings.TrimSpace(args), Pos: c.Pos()}, true
+}
+
+// fromGroups collects directives from any of the comment groups.
+func fromGroups(groups ...*ast.CommentGroup) []Directive {
+	var out []Directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if d, ok := parse(c); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Field returns the directives attached to a struct field (doc comment above
+// or line comment after).
+func Field(f *ast.Field) []Directive { return fromGroups(f.Doc, f.Comment) }
+
+// Func returns the directives in a function's doc comment.
+func Func(fd *ast.FuncDecl) []Directive { return fromGroups(fd.Doc) }
+
+// Type returns the directives attached to a type declaration: the GenDecl
+// doc (the usual position), the TypeSpec doc, or the TypeSpec line comment.
+func Type(gd *ast.GenDecl, ts *ast.TypeSpec) []Directive {
+	return fromGroups(gd.Doc, ts.Doc, ts.Comment)
+}
+
+// Has reports whether ds contains a directive of the given kind.
+func Has(ds []Directive, kind string) bool {
+	for _, d := range ds {
+		if d.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Arg returns the Args of the first directive of the given kind, and whether
+// one was found.
+func Arg(ds []Directive, kind string) (string, bool) {
+	for _, d := range ds {
+		if d.Kind == kind {
+			return d.Args, true
+		}
+	}
+	return "", false
+}
+
+// An Ignore is one //simlint:ignore suppression.
+type Ignore struct {
+	Rule   string
+	Reason string
+	File   string
+	Line   int
+	Pos    token.Pos
+}
+
+// IgnoreSet indexes every //simlint:ignore directive in a set of files.
+type IgnoreSet struct {
+	byLine map[string]map[int][]*Ignore // file -> line -> ignores
+	all    []*Ignore
+}
+
+// Ignores scans files for //simlint:ignore directives. A suppression on
+// line L covers diagnostics reported on line L (trailing comment) and line
+// L+1 (standalone comment above the offending statement).
+func Ignores(fset *token.FileSet, files []*ast.File) *IgnoreSet {
+	s := &IgnoreSet{byLine: make(map[string]map[int][]*Ignore)}
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				d, ok := parse(c)
+				if !ok || d.Kind != "ignore" {
+					continue
+				}
+				rule, reason, _ := strings.Cut(d.Args, " ")
+				p := fset.Position(c.Pos())
+				ig := &Ignore{
+					Rule:   rule,
+					Reason: strings.TrimSpace(reason),
+					File:   p.Filename,
+					Line:   p.Line,
+					Pos:    c.Pos(),
+				}
+				m := s.byLine[ig.File]
+				if m == nil {
+					m = make(map[int][]*Ignore)
+					s.byLine[ig.File] = m
+				}
+				m[ig.Line] = append(m[ig.Line], ig)
+				s.all = append(s.all, ig)
+			}
+		}
+	}
+	return s
+}
+
+// Match reports whether a diagnostic of the given rule at pos is suppressed.
+func (s *IgnoreSet) Match(fset *token.FileSet, rule string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	m := s.byLine[p.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, ig := range m[line] {
+			if ig.Rule == rule && ig.Reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Invalid returns the ignores that carry no written reason; the driver
+// reports these as errors (a suppression must justify itself).
+func (s *IgnoreSet) Invalid() []*Ignore {
+	var out []*Ignore
+	for _, ig := range s.all {
+		if ig.Rule == "" || ig.Reason == "" {
+			out = append(out, ig)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"hugeomp/internal/lint/directive"
+)
+
+const src = `package p
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+
+	// doc directive
+	//simlint:atomic
+	word uint32
+
+	slice []uint32 //simlint:atomic
+	plain uint64
+}
+
+//simlint:hotpath
+func hot() {}
+
+func cold() {}
+
+func body() {
+	x := 1 //simlint:ignore determinism trailing: same-line suppression
+	_ = x
+	//simlint:ignore atomicfield standalone: covers the next line
+	y := 2
+	_ = y
+	z := 3 //simlint:ignore lockdiscipline
+	_ = z
+}
+`
+
+func parse(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestFieldAndFuncDirectives(t *testing.T) {
+	fset, f := parse(t)
+	_ = fset
+	var atomicFields []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			if directive.Has(directive.Field(fld), "atomic") {
+				atomicFields = append(atomicFields, fld.Names[0].Name)
+			}
+		}
+		return true
+	})
+	if len(atomicFields) != 2 || atomicFields[0] != "word" || atomicFields[1] != "slice" {
+		t.Fatalf("atomic fields = %v, want [word slice]", atomicFields)
+	}
+
+	hot := 0
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && directive.Has(directive.Func(fd), "hotpath") {
+			hot++
+			if fd.Name.Name != "hot" {
+				t.Fatalf("hotpath on %s", fd.Name.Name)
+			}
+		}
+	}
+	if hot != 1 {
+		t.Fatalf("hotpath count = %d", hot)
+	}
+}
+
+func TestIgnores(t *testing.T) {
+	fset, f := parse(t)
+	igs := directive.Ignores(fset, []*ast.File{f})
+
+	pos := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	// Line 22: trailing ignore for determinism suppresses its own line.
+	if !igs.Match(fset, "determinism", pos(22)) {
+		t.Error("trailing ignore did not match its own line")
+	}
+	if igs.Match(fset, "atomicfield", pos(22)) {
+		t.Error("ignore matched the wrong rule")
+	}
+	// Line 24 holds a standalone ignore: it covers line 25.
+	if !igs.Match(fset, "atomicfield", pos(25)) {
+		t.Error("standalone ignore did not cover the following line")
+	}
+	if igs.Match(fset, "atomicfield", pos(27)) {
+		t.Error("ignore leaked past the following line")
+	}
+	// The reasonless ignore on line 27 is invalid: it matches nothing and
+	// is reported.
+	if igs.Match(fset, "lockdiscipline", pos(27)) {
+		t.Error("reasonless ignore suppressed a diagnostic")
+	}
+	inv := igs.Invalid()
+	if len(inv) != 1 || inv[0].Rule != "lockdiscipline" {
+		t.Fatalf("Invalid() = %+v, want the one reasonless lockdiscipline ignore", inv)
+	}
+}

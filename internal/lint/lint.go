@@ -1,0 +1,96 @@
+// Package lint ties the simlint pieces together: the analyzer registry and
+// the per-package runner that applies analyzers and the //simlint:ignore
+// suppression rules. Both driver modes of cmd/simlint (standalone and
+// `go vet -vettool`) run packages through this code, so suppressions and
+// reason-checking behave identically everywhere.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hugeomp/internal/lint/analysis"
+	"hugeomp/internal/lint/atomicfield"
+	"hugeomp/internal/lint/determinism"
+	"hugeomp/internal/lint/directive"
+	"hugeomp/internal/lint/lockdiscipline"
+	"hugeomp/internal/lint/padding"
+)
+
+// Analyzers is the simlint suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		lockdiscipline.Analyzer,
+		atomicfield.Analyzer,
+		padding.Analyzer,
+	}
+}
+
+// A Diagnostic is one reported finding after suppression filtering.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Unit is the package material the runner needs (a subset of load.Package,
+// shaped so the vettool mode can fill it without the loader).
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// Run applies the analyzers to one package, drops diagnostics suppressed by
+// a reasoned //simlint:ignore, and reports reasonless ignores as findings
+// of the "ignore" pseudo-rule. Diagnostics come back in file/line order.
+func Run(u *Unit, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	igs := directive.Ignores(u.Fset, u.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       u.Fset,
+			Files:      u.Files,
+			Pkg:        u.Pkg,
+			TypesInfo:  u.Info,
+			TypesSizes: u.Sizes,
+			Report: func(d analysis.Diagnostic) {
+				if igs.Match(u.Fset, a.Name, d.Pos) {
+					return
+				}
+				out = append(out, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      u.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	for _, ig := range igs.Invalid() {
+		out = append(out, Diagnostic{
+			Analyzer: "ignore",
+			Pos:      u.Fset.Position(ig.Pos),
+			Message:  "//simlint:ignore needs a rule name and a written reason: every suppression must justify itself",
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}

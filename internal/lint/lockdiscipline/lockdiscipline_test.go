@@ -1,0 +1,18 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"hugeomp/internal/lint/analysistest"
+	"hugeomp/internal/lint/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	defer func(order, bus string) {
+		lockdiscipline.Order, lockdiscipline.BusTypes = order, bus
+	}(lockdiscipline.Order, lockdiscipline.BusTypes)
+	lockdiscipline.Order = "Shard < Cache"
+	lockdiscipline.BusTypes = "Bus"
+
+	analysistest.Run(t, analysistest.TestData(), lockdiscipline.Analyzer, "a")
+}

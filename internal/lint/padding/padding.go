@@ -1,0 +1,135 @@
+// Package padding checks the cache-line-layout annotations that replace the
+// simulator's former ad-hoc `const _ uintptr = -(unsafe.Sizeof(T{}) % 64)`
+// compile-time asserts:
+//
+//   - a struct annotated //simlint:padded must be a whole multiple of 64
+//     bytes (the host cache line), so adjacently allocated instances meet
+//     exactly on a line boundary and never false-share;
+//   - fields annotated //simlint:writer <name> are single-writer words; two
+//     fields with different writer names must not share a 64-byte line
+//     within the struct, or the writers false-share (writer checks apply to
+//     any struct, padded or not).
+//
+// Sizes and offsets come from the gc layout rules for the build
+// architecture (types.SizesFor), which is what the old unsafe.Sizeof
+// asserts measured — but with an error message, and with the
+// cross-line-sharing check the asserts could not express.
+package padding
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hugeomp/internal/lint/analysis"
+	"hugeomp/internal/lint/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "padding",
+	Doc: "structs annotated //simlint:padded must be 64-byte multiples, and //simlint:writer " +
+		"fields with different writers must not share a cache line",
+	Run: run,
+}
+
+// LineBytes is the host cache line the layout contract is written against.
+const LineBytes = 64
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				check(pass, gd, ts, st)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, gd *ast.GenDecl, ts *ast.TypeSpec, st *ast.StructType) {
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	styp, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	padded := directive.Has(directive.Type(gd, ts), "padded")
+
+	if padded {
+		sz := pass.TypesSizes.Sizeof(styp)
+		if sz == 0 || sz%LineBytes != 0 {
+			pass.Reportf(ts.Pos(),
+				"struct %s is %d bytes, not a positive multiple of %d: //simlint:padded structs must end exactly on a cache-line boundary (add or resize the trailing _ [N]byte pad)",
+				ts.Name.Name, sz, LineBytes)
+		}
+	}
+
+	// Writer-line check: fields carrying //simlint:writer <name>.
+	type writerField struct {
+		name   string // field name
+		writer string
+		lo, hi int64 // byte extent [lo, hi)
+	}
+	var fields []*types.Var
+	for i := 0; i < styp.NumFields(); i++ {
+		fields = append(fields, styp.Field(i))
+	}
+	var offsets []int64
+	if len(fields) > 0 {
+		offsets = pass.TypesSizes.Offsetsof(fields)
+	}
+	var writers []writerField
+	fieldIdx := 0
+	for _, fld := range st.Fields.List {
+		names := len(fld.Names)
+		if names == 0 {
+			names = 1 // embedded field
+		}
+		w, hasW := directive.Arg(directive.Field(fld), "writer")
+		for k := 0; k < names; k++ {
+			v := fields[fieldIdx]
+			off := offsets[fieldIdx]
+			fieldIdx++
+			if !hasW {
+				continue
+			}
+			if w == "" {
+				pass.Reportf(fld.Pos(), "//simlint:writer on %s.%s needs a writer name", ts.Name.Name, v.Name())
+				continue
+			}
+			writers = append(writers, writerField{
+				name:   v.Name(),
+				writer: w,
+				lo:     off,
+				hi:     off + pass.TypesSizes.Sizeof(v.Type()),
+			})
+		}
+	}
+	for i := range writers {
+		for j := i + 1; j < len(writers); j++ {
+			a, b := writers[i], writers[j]
+			if a.writer == b.writer {
+				continue
+			}
+			if a.lo/LineBytes <= (b.hi-1)/LineBytes && b.lo/LineBytes <= (a.hi-1)/LineBytes {
+				pass.Reportf(ts.Pos(),
+					"fields %s.%s (writer %q, bytes %d-%d) and %s.%s (writer %q, bytes %d-%d) share a %d-byte line: single-writer fields of different writers must live on separate lines",
+					ts.Name.Name, a.name, a.writer, a.lo, a.hi-1,
+					ts.Name.Name, b.name, b.writer, b.lo, b.hi-1, LineBytes)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package padding_test
+
+import (
+	"testing"
+
+	"hugeomp/internal/lint/analysistest"
+	"hugeomp/internal/lint/padding"
+)
+
+func TestPadding(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), padding.Analyzer, "a")
+}

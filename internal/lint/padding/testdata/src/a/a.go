@@ -1,0 +1,67 @@
+// Corpus for the padding analyzer. Field types are fixed-width so the
+// layout is identical on every 64-bit architecture.
+package a
+
+// A correctly padded single-line struct.
+//
+//simlint:padded
+type padded struct {
+	a uint64
+	b uint32
+	_ [52]byte
+}
+
+// Padding may span several whole lines.
+//
+//simlint:padded
+type twoLines struct {
+	a [16]uint64
+}
+
+//simlint:padded
+type unpadded struct { // want `72 bytes, not a positive multiple of 64`
+	a [8]uint64
+	b uint64
+}
+
+//simlint:padded
+type empty struct{} // want `0 bytes, not a positive multiple of 64`
+
+// Distinct single writers on separate lines: the shmem Channel shape.
+//
+//simlint:padded
+type splitWriters struct {
+	head uint64 //simlint:writer sender
+	_    [56]byte
+	tail uint64 //simlint:writer receiver
+	_    [56]byte
+}
+
+// Distinct writers sharing one line is the false-sharing bug the
+// annotation exists to catch (the struct size itself is fine).
+//
+//simlint:padded
+type sharedLine struct { // want `share a 64-byte line`
+	head uint64 //simlint:writer sender
+	tail uint64 //simlint:writer receiver
+	_    [48]byte
+}
+
+// One writer may own many words of its line.
+type sameWriter struct {
+	busy  uint64 //simlint:writer owner
+	mem   uint64 //simlint:writer owner
+	stall uint64 //simlint:writer owner
+}
+
+// The writer check applies without //simlint:padded too.
+type unpaddedWriters struct { // want `share a 64-byte line`
+	produced uint64 //simlint:writer producer
+	consumed uint64 //simlint:writer consumer
+}
+
+// A missing writer name is itself an error.
+type anonWriter struct {
+	//simlint:writer
+	x uint64 // want `needs a writer name`
+}

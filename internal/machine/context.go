@@ -255,6 +255,8 @@ func (c *Context) walk(va units.Addr, write bool) pagetable.WalkResult {
 
 // cacheAccess runs the data-cache hierarchy for one line and returns its
 // cycle cost. Caller holds the core lock in true-sharing mode.
+//
+//simlint:hotpath
 func (c *Context) cacheAccess(line uint64, write bool) uint64 {
 	res := c.l1.Access(line, write)
 	if res.Hit {
@@ -281,6 +283,11 @@ func (c *Context) cacheAccess(line uint64, write bool) uint64 {
 	var res2 cache.Result
 	interv := false
 	if bus := c.machine.bus; bus != nil {
+		// l2Mu is only non-nil for a truly shared L2, where it is the
+		// outermost lock of the hierarchy (l2Mu > busShard > Cache) and no
+		// bus path ever takes it back, so holding it across the transaction
+		// cannot deadlock — it is what serialises the shared L2.
+		//simlint:ignore lockdiscipline shared-L2 serialisation: l2Mu is above the bus in the lock hierarchy and nothing inside Bus.Access acquires it
 		res2, interv = bus.Access(c.l2, line, write)
 	} else {
 		res2 = c.l2.Access(line, write)
@@ -367,6 +374,8 @@ func (c *Context) pushRun(line uint64, extra int32) {
 // The per-line counter updates and cache-state evolution are exactly those
 // of the per-line path; the equivalence is property-tested against
 // AccessRangeScalar/GatherRangeScalar on coherent machines.
+//
+//simlint:hotpath
 func (c *Context) flushRuns(write bool) uint64 {
 	nr := len(c.runLine)
 	if nr == 0 {

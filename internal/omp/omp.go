@@ -492,18 +492,28 @@ func (rt *RT) accountRegion(code *CodeRegion) {
 }
 
 // RegionProfiles returns the per-region profile entries sorted by wall
-// cycles, most expensive first (the OProfile per-symbol view).
+// cycles, most expensive first (the OProfile per-symbol view). Regions with
+// equal wall cycles tie-break on name: the slice is collected from a map, so
+// without a total order the report would shuffle between identical runs.
 func (rt *RT) RegionProfiles() []*RegionProfile {
 	out := make([]*RegionProfile, 0, len(rt.regionProf))
 	for _, p := range rt.regionProf {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].WallCycles > out[j].WallCycles })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WallCycles != out[j].WallCycles {
+			return out[i].WallCycles > out[j].WallCycles
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 
 // reducePartial is one thread's reduction slot, padded to a full host cache
-// line so concurrent partial updates from different threads never share one.
+// line so concurrent partial updates from different threads never share one
+// (layout checked by simlint's padding analyzer).
+//
+//simlint:padded
 type reducePartial struct {
 	v float64
 	_ [56]byte
