@@ -33,9 +33,28 @@ type SimPerf struct {
 	// StridedNs is a page-hostile 8 KB stride (one line per element, most
 	// accesses missing the TLB).
 	StridedNs float64 `json:"strided_8k_ns_per_access"`
-	// RandomNs is scalar loads at pseudo-random addresses (the pre-gather
-	// cost of an indexed access).
+	// RandomNs is committed scalar loads at pseudo-random addresses over an
+	// 8 MB vector (the pre-gather cost of an indexed access, TLB-hostile).
 	RandomNs float64 `json:"random_ns_per_access"`
+	// RandomScalarNs is the pristine per-element reference engine
+	// (AccessScalarRef) on the identical pseudo-random address stream.
+	RandomScalarNs float64 `json:"random_scalar_ns_per_access"`
+	// RandomSpeedup is RandomScalarNs / RandomNs. At this TLB-hostile size
+	// most accesses walk in both engines (the memos only front TLB hits), so
+	// the ratio hovers near 1.0 and mostly tracks host noise; the fast
+	// path's wins show in RandomFastNs and SingleAddrNs, and the historical
+	// 307→~125 ns drop came from the shared TLB/cache layout rework, which
+	// both engines inherit.
+	RandomSpeedup float64 `json:"random_speedup_x"`
+	// RandomFastNs is the same pseudo-random pattern confined to a 128 KB
+	// working set — 32 pages, exactly the Opteron's L1 DTLB reach, so after
+	// warmup every translation is a memo hit and no walks or level
+	// promotions occur — isolating the translation-memo plus
+	// set-indexed-probe cost of the scalar fast path.
+	RandomFastNs float64 `json:"random_fast_ns_per_access"`
+	// SingleAddrNs is repeated loads of one address: the address-pattern
+	// fold memo's best case (one probe, bulk-accounted hit cycles).
+	SingleAddrNs float64 `json:"singleaddr_ns_per_access"`
 	// GatherNs is the bulk indexed path (GatherRange) on a reused
 	// pseudo-random index list over a TLB-hostile vector.
 	GatherNs float64 `json:"gather_ns_per_access"`
@@ -178,6 +197,64 @@ func measureGather() (gather, scalar float64, err error) {
 	return gather, scalar, nil
 }
 
+// randomSeedStep is the LCG of every pseudo-random address stream in this
+// file (Knuth's MMIX multiplier) — cheap enough that the generator itself is
+// noise next to a simulated access.
+func randomSeedStep(seed uint64) uint64 {
+	return seed*6364136223846793005 + 1442695040888963407
+}
+
+// measureRandom times the committed scalar fast path on pseudo-random loads
+// over an elems-element vector and, when withRef is set, the per-element
+// reference engine on the identical address stream.
+func measureRandom(elems int, withRef bool) (committed, scalar float64, err error) {
+	const count = 1 << 13
+	_, c, arr, err := perfSystem(elems)
+	if err != nil {
+		return 0, 0, err
+	}
+	seed := uint64(1)
+	committed = timePattern(count, func() {
+		for i := 0; i < count; i++ {
+			seed = randomSeedStep(seed)
+			c.Load(arr.Addr(int(seed>>17) & (elems - 1)))
+		}
+	})
+	if !withRef {
+		return committed, 0, nil
+	}
+	_, cs, arrS, err := perfSystem(elems)
+	if err != nil {
+		return 0, 0, err
+	}
+	seedS := uint64(1)
+	scalar = timePattern(count, func() {
+		for i := 0; i < count; i++ {
+			seedS = randomSeedStep(seedS)
+			cs.AccessScalarRef(arrS.Addr(int(seedS>>17)&(elems-1)), false)
+		}
+	})
+	return committed, scalar, nil
+}
+
+// measureSingleAddr times repeated committed loads of a single address — the
+// degenerate pointer-chase / spin-read pattern the fold memo collapses to
+// one probe plus bulk-accounted hit cycles.
+func measureSingleAddr() (float64, error) {
+	_, c, arr, err := perfSystem(1 << 12)
+	if err != nil {
+		return 0, err
+	}
+	va := arr.Addr(0)
+	c.Load(va) // warm translation and line
+	const count = 1 << 13
+	return timePattern(count, func() {
+		for i := 0; i < count; i++ {
+			c.Load(va)
+		}
+	}), nil
+}
+
 // multicoreModel returns the simulated machine for a team of `threads`: the
 // paper's Opteron 270 with coherence enabled — so the sweep exercises the
 // sharded snoop bus and the private-line fast path under real host
@@ -285,21 +362,20 @@ func MeasureSimPerf(class npb.Class, apps []string) (SimPerf, error) {
 		p.StridedNs = timePattern(count, func() { arr.LoadStride(c, 0, count, 1024) })
 	}
 
-	// Random scalar loads.
-	{
-		const elems = 1 << 20 // 8 MB
-		_, c, arr, err := perfSystem(elems)
-		if err != nil {
-			return p, err
-		}
-		const count = 1 << 13
-		seed := uint64(1)
-		p.RandomNs = timePattern(count, func() {
-			for i := 0; i < count; i++ {
-				seed = seed*6364136223846793005 + 1442695040888963407
-				c.Load(arr.Addr(int(seed>>17) & (elems - 1)))
-			}
-		})
+	// Random scalar loads: the committed fast path vs the per-element
+	// reference on an 8 MB (TLB-hostile) vector, plus the DTLB-resident
+	// variant and the single-address fold-memo best case.
+	if p.RandomNs, p.RandomScalarNs, err = measureRandom(1<<20, true); err != nil {
+		return p, err
+	}
+	if p.RandomNs > 0 {
+		p.RandomSpeedup = p.RandomScalarNs / p.RandomNs
+	}
+	if p.RandomFastNs, _, err = measureRandom(1<<14, false); err != nil {
+		return p, err
+	}
+	if p.SingleAddrNs, err = measureSingleAddr(); err != nil {
+		return p, err
 	}
 
 	if p.GatherNs, p.GatherScalarNs, err = measureGather(); err != nil {
@@ -341,6 +417,19 @@ func ReadSimPerf(path string) (SimPerf, error) {
 // back into the parallel path.
 const minCGSpeedup4 = 1.5
 
+// maxRandomNs is the absolute ceiling RegressionCheck enforces on the
+// committed random-access cost (8 MB vector). The growth seed measured
+// ~307 ns/access on the reference host; the scalar overhaul (translation
+// memo, set-indexed probes, batched drains, fold memo, packed TLB/cache
+// layouts) brought that to ~125 ns. The aspirational 50 ns target is not
+// reachable while keeping exact-LRU recency and byte-exact counters — what
+// survives is ~10 dependent random host-cache touches per simulated access —
+// so the ceiling pins the achieved level instead: a slide past it means one
+// of the fast-path mechanisms stopped firing. Applied only on hosts with at
+// least 4 procs (the same gate as the CG floor) so loaded or tiny CI hosts
+// don't produce false alarms; the relative 2x guard always applies.
+const maxRandomNs = 200
+
 // RegressionCheck re-measures the dense and gather fast paths and compares
 // them against the committed baseline at path, returning an error if either
 // regressed more than 2x. On hosts with at least 4 procs it also re-runs the
@@ -361,13 +450,25 @@ func RegressionCheck(path string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	report := fmt.Sprintf("dense %.2f ns/access (baseline %.2f), gather %.2f ns/access (baseline %.2f)",
-		dense, base.DenseNs, gather, base.GatherNs)
+	random, _, err := measureRandom(1<<20, false)
+	if err != nil {
+		return "", err
+	}
+	report := fmt.Sprintf("dense %.2f ns/access (baseline %.2f), gather %.2f ns/access (baseline %.2f), random %.2f ns/access (baseline %.2f, ceiling %d)",
+		dense, base.DenseNs, gather, base.GatherNs, random, base.RandomNs, maxRandomNs)
 	if base.DenseNs > 0 && dense > 2*base.DenseNs {
 		return report, fmt.Errorf("bench: dense fast path regressed >2x: %.2f ns/access vs baseline %.2f", dense, base.DenseNs)
 	}
 	if base.GatherNs > 0 && gather > 2*base.GatherNs {
 		return report, fmt.Errorf("bench: gather fast path regressed >2x: %.2f ns/access vs baseline %.2f", gather, base.GatherNs)
+	}
+	if base.RandomNs > 0 && random > 2*base.RandomNs {
+		return report, fmt.Errorf("bench: random scalar path regressed >2x: %.2f ns/access vs baseline %.2f", random, base.RandomNs)
+	}
+	if host := runtime.NumCPU(); host >= 4 && random > maxRandomNs {
+		return report, fmt.Errorf(
+			"bench: committed random access above absolute ceiling: %.2f ns/access > %d ns on a %d-proc host (scalar fast path stopped firing?)",
+			random, maxRandomNs, host)
 	}
 	if host := runtime.NumCPU(); host >= 4 {
 		pts, err := measureMulticore(func() npb.Kernel { return npb.NewCG() }, npb.ClassW, []int{1, 4})
@@ -397,10 +498,17 @@ func WriteSimPerf(w io.Writer, p SimPerf) error {
 // FormatSimPerf renders a human-readable summary of p.
 func FormatSimPerf(p SimPerf) string {
 	s := fmt.Sprintf(
-		"simulator perf: dense %.1f ns/access (scalar %.1f, speedup %.1fx), strided %.1f, random %.1f, gather %.1f (scalar %.1f, speedup %.1fx); Fig4 class %s sweep %.1fs on %d workers",
-		p.DenseNs, p.DenseScalarNs, p.DenseSpeedup, p.StridedNs, p.RandomNs,
+		"simulator perf: dense %.1f ns/access (scalar %.1f, speedup %.1fx), strided %.1f, random %.1f (scalar %.1f, speedup %.1fx; dtlb-resident %.1f, single-addr %.1f), gather %.1f (scalar %.1f, speedup %.1fx); Fig4 class %s sweep %.1fs on %d workers",
+		p.DenseNs, p.DenseScalarNs, p.DenseSpeedup, p.StridedNs,
+		p.RandomNs, p.RandomScalarNs, p.RandomSpeedup, p.RandomFastNs, p.SingleAddrNs,
 		p.GatherNs, p.GatherScalarNs, p.GatherSpeedup,
 		p.Fig4Class, p.Fig4WallSeconds, p.GOMAXPROCS)
+	if p.HostProcs > 0 {
+		// The random and single-address rows are single-threaded and scale
+		// with host core speed, not core count — trajectories are only
+		// comparable between like hosts, so record what this one was.
+		s += fmt.Sprintf("; random/single-addr rows measured single-threaded on a %d-proc host", p.HostProcs)
+	}
 	s += formatMulticore("CG", p.Multicore)
 	s += formatMulticore("MG", p.MulticoreMG)
 	return s

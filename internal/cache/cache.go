@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -57,35 +58,76 @@ type Result struct {
 	HadEvict  bool
 }
 
+// maxAssoc bounds associativity to what the packed per-set metadata encodes:
+// a 4-bit way ID per LRU-order position and a 2-bit MESI state per way. The
+// paper-era processors top out at 16 ways, and the bound is what makes every
+// set's replacement and coherence state one 16-byte control block.
+const maxAssoc = 16
+
 // Cache is one set-associative write-back LRU cache level.
 //
-// Line metadata is stored structure-of-arrays: the tag scan — the hot loop
-// of every simulated access — walks a contiguous []uint64, so a 16-way probe
-// touches two host cache lines instead of the six an array-of-structs layout
-// costs; stamps are only touched on the miss path (victim selection) and
-// states only on state transitions.
+// The simulated access path is the hottest loop in the simulator, so the
+// per-set metadata is packed and interleaved to minimise distinct host cache
+// lines touched per simulated access. Each set owns one contiguous block of
+// uint64 words (block 0 on a 64-byte host line boundary):
 //
-// Concurrency roles when the cache is attached to a Bus: tags, stamps, tick
-// and priv are written only by the owning context's goroutine (fills happen
-// inside that context's own bus transactions), so the lock-free fast path may
-// read them plainly. states is the one array peers mutate (invalidations and
-// downgrades on behalf of other caches' transactions), so every
-// cross-goroutine state access goes through sync/atomic — peer-side
-// transitions are CAS loops, and the owner's lock-free E→M promotion is a CAS
-// that simply fails into the locked slow path if a peer transition wins the
-// race.
+//   - word 0 is the LRU order nibble vector (owner-only): nibble 0 is the
+//     MRU way ID, nibble assoc-1 the LRU victim. A recency refresh is a
+//     shift-and-insert, eviction recycles the top nibble, and the whole
+//     "stamp scan" of a timestamp scheme disappears — victim selection
+//     reads one word;
+//
+//   - word 1 holds the 2-bit MESI states, atomically accessed when
+//     bus-attached: the per-set valid count is a popcount, and "first
+//     Invalid way by index" — the victim preference that keeps the old scan
+//     order — is a bit trick on the inverted presence mask;
+//
+//   - words 2.. hold the ways' 32-bit set-relative tags
+//     (lineAddr >> setBits), two per word in ascending way order.
+//
+// Order, states and a 16-way set's tags together are 80 bytes, so a whole
+// set's replacement, coherence and residency metadata lands on one or two
+// adjacent host lines instead of the three scattered arrays of the previous
+// layout; a 2-way set (the Opteron L1) is one 32-byte half-line.
+//
+// Concurrency roles when the cache is attached to a Bus: tags, the order
+// word and priv are written only by the owning context's goroutine (fills
+// happen inside that context's own bus transactions), so the lock-free fast
+// path may read them plainly. The states word is the one field peers mutate
+// (invalidations and downgrades on behalf of other caches' transactions), so
+// every cross-goroutine access to it goes through sync/atomic — peer-side
+// transitions are CAS loops, and the owner's lock-free E→M promotion is a
+// CAS that simply fails into the locked slow path if a peer transition wins
+// the race (a peer's change to any way of the set changes the word, which
+// only makes the owner's CAS conservatively fail). Peers never touch the
+// order word: an invalidated way simply stays in recency position until the
+// owner recycles it through the first-Invalid victim rule.
 type cacheFields struct {
-	tags   []uint64
-	stamps []uint64
-	// states holds State values, atomically accessed when bus-attached.
-	//simlint:atomic
-	states    []uint32
-	priv      []uint64 // per-line private-fill stamps (see FastAccess)
-	assoc     int
-	sets      int
-	setMask   uint64
-	lineShift uint
-	tick      uint64
+	// blocks holds the per-set metadata blocks, blockWords words per set:
+	// word 0 order, word 1 states, words 2.. tags. Aligned so block 0
+	// starts on a 64-byte host line.
+	//
+	// The states word (index bb+1 of a set's block) is the CAS-published
+	// word peers mutate, so every access to it — owner and peer alike —
+	// must go through sync/atomic on &blocks[bb+1]; the order and tag
+	// words are owner-only (peer-side transitions never touch them) and
+	// are read and written plainly. The //simlint:atomic annotation is
+	// deliberately absent: it is field-granular, and this field packs the
+	// one atomic word per set between owner-only words, so annotating it
+	// would force ignores onto every plain tag/order access instead of
+	// protecting the states word. Grep for `blocks[bb+1]` when auditing:
+	// a plain access to that index is a bug.
+	blocks []uint64
+	priv   []uint64 // per-line private-fill stamps (see FastAccess)
+
+	assoc      int
+	sets       int
+	setMask    uint64
+	setBits    uint
+	blockWords int    // words per set block: 2 + ceil(assoc/2)
+	orderMask  uint64 // low assoc nibbles
+	presMask   uint32 // low assoc 2-bit fields, 01 pattern
+	lineShift  uint
 
 	id  int  // position on the bus, -1 if not attached
 	bus *Bus // nil when coherence is disabled
@@ -100,7 +142,7 @@ type cacheFields struct {
 // Cache pads its fields to a whole number of 64-byte host cache lines so
 // that adjacently allocated caches (the machine layer builds one per
 // context, back to back) never false-share a line between one cache's
-// mutable tail fields (tick, mu) and the next one's slice headers. The
+// mutable tail fields (mu) and the next one's slice headers. The
 // whole-lines layout is checked by simlint's padding analyzer.
 //
 //simlint:padded
@@ -130,23 +172,117 @@ func New(cfg Config) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
+	if assoc > maxAssoc {
+		panic(fmt.Sprintf("cache: associativity %d exceeds the packed-set limit of %d ways (give the config an explicit, hardware-like way count)", assoc, maxAssoc))
+	}
 	shift := uint(0)
 	for 1<<shift != ls {
 		shift++
 	}
+	orderMask := ^uint64(0)
+	if assoc < 16 {
+		orderMask = (uint64(1) << (4 * assoc)) - 1
+	}
+	// The per-set block is exactly order + states + tag words — padding it
+	// (say to a power of two) would inflate the metadata footprint past the
+	// host L2 working set for the big simulated L2s, which costs more than
+	// the multiply in the index computation. Over-allocate so block 0 can
+	// be placed on a 64-byte host line boundary.
+	blockWords := 2 + (assoc+1)/2
+	raw := make([]uint64, sets*blockWords+7)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&raw[0])) % 64; rem != 0 {
+		off = int((64 - rem) / 8)
+	}
 	c := &Cache{}
 	c.cacheFields = cacheFields{
-		tags:      make([]uint64, nLines),
-		stamps:    make([]uint64, nLines),
-		states:    make([]uint32, nLines),
-		priv:      make([]uint64, nLines),
-		assoc:     assoc,
-		sets:      sets,
-		setMask:   uint64(sets - 1),
-		lineShift: shift,
-		id:        -1,
+		blocks:     raw[off : off+sets*blockWords],
+		priv:       make([]uint64, nLines),
+		assoc:      assoc,
+		sets:       sets,
+		setMask:    uint64(sets - 1),
+		setBits:    uint(bits.TrailingZeros64(uint64(sets))),
+		blockWords: blockWords,
+		orderMask:  orderMask,
+		presMask:   uint32(0x55555555) & uint32((uint64(1)<<(2*assoc))-1),
+		lineShift:  shift,
+		id:         -1,
 	}
+	c.resetOrder()
 	return c
+}
+
+// resetOrder sets every set's recency vector to the identity permutation
+// (all ways invalid, so the order is arbitrary but deterministic).
+func (c *cacheFields) resetOrder() {
+	var ident uint64
+	for w := c.assoc - 1; w >= 0; w-- {
+		ident = ident<<4 | uint64(w)
+	}
+	for s := 0; s < c.sets; s++ {
+		c.blocks[s*c.blockWords] = ident
+	}
+}
+
+// tagAt reads way w's tag from the set block starting at word bb.
+func (c *cacheFields) tagAt(bb, w int) uint32 {
+	return uint32(c.blocks[bb+2+(w>>1)] >> (32 * uint(w&1)))
+}
+
+// setTag writes way w's tag in the set block starting at word bb.
+// Owner-only, like the order word.
+func (c *cacheFields) setTag(bb, w int, tag uint32) {
+	i := bb + 2 + (w >> 1)
+	sh := 32 * uint(w&1)
+	c.blocks[i] = c.blocks[i]&^(uint64(0xffffffff)<<sh) | uint64(tag)<<sh
+}
+
+// tagOf splits a line address into its set-relative tag.
+func (c *cacheFields) tagOf(lineAddr uint64) uint32 { return uint32(lineAddr >> c.setBits) }
+
+// lineOf reconstructs a line address from a set and a stored tag.
+func (c *cacheFields) lineOf(set int, tag uint32) uint64 {
+	return uint64(tag)<<c.setBits | uint64(set)
+}
+
+// stateOf extracts way w's MESI state from a states word.
+func stateOf(word uint64, w int) State { return State((word >> (2 * uint(w))) & 3) }
+
+// setNibble returns word with way w's 2-bit state replaced by st.
+func setNibble(word uint64, w int, st State) uint64 {
+	sh := 2 * uint(w)
+	return word&^(3<<sh) | uint64(st)<<sh
+}
+
+// present returns the 01-pattern mask of valid ways in a states word.
+func (c *cacheFields) present(word uint64) uint32 {
+	v := uint32(word)
+	return (v | v>>1) & c.presMask
+}
+
+// statesWord reads set s's packed states with an atomic load (safe against
+// concurrent peer transitions; on the owner's goroutine the value cannot go
+// stale for owner-held decisions — see the cacheFields doc).
+func (c *cacheFields) statesWord(s int) uint64 {
+	return atomic.LoadUint64(&c.blocks[s*c.blockWords+1])
+}
+
+// touchOrder moves way w to the MRU front of the order vector. pos is found
+// with a SWAR zero-nibble search: the permutation holds w exactly once in
+// the low assoc nibbles, and the borrow trick flags the lowest zero nibble
+// exactly.
+func touchOrder(order uint64, w int) uint64 {
+	if order&0xF == uint64(w) {
+		return order
+	}
+	x := order ^ (uint64(w) * 0x1111111111111111)
+	p := uint(bits.TrailingZeros64((x-0x1111111111111111)&^x&0x8888888888888888)) / 4
+	below := order & ((uint64(1) << (4 * p)) - 1)
+	var above uint64
+	if p < 15 {
+		above = order &^ ((uint64(1) << (4 * (p + 1))) - 1)
+	}
+	return above | below<<4 | uint64(w)
 }
 
 // LineAddr converts a physical address into a line number.
@@ -156,26 +292,6 @@ func (c *Cache) LineAddr(pa units.Addr) uint64 { return uint64(pa) >> c.lineShif
 // the lines of one bus shard group to map to distinct sets).
 func (c *Cache) Sets() int { return c.sets }
 
-// st reads the state of way slot i. Plain read: safe on the owner's
-// goroutine and under the bus-side mutex (see cacheFields doc). Every other
-// states access in the package goes through sync/atomic; this accessor is
-// the single sanctioned exception.
-//
-//simlint:ignore atomicfield owner-goroutine/bus-mutex read; the cacheFields doc defines when a plain load is safe
-func (c *cacheFields) st(i int) State { return State(c.states[i]) }
-
-// stAtomic reads the state of way slot i with an atomic load, for lock-free
-// readers racing peer-side transitions.
-func (c *cacheFields) stAtomic(i int) State {
-	return State(atomic.LoadUint32(&c.states[i]))
-}
-
-// touch refreshes the LRU stamp of way slot i. Owner-only state.
-func (c *cacheFields) touch(i int) {
-	c.tick++
-	c.stamps[i] = c.tick
-}
-
 // Access looks up the line containing pa; on a miss it fills the line,
 // evicting the set's LRU way. write marks the line dirty (Modified).
 // Coherence (if the cache is attached to a Bus) is handled by the caller via
@@ -183,42 +299,69 @@ func (c *cacheFields) touch(i int) {
 //
 //simlint:hotpath
 func (c *Cache) Access(lineAddr uint64, write bool) Result {
-	base := int(lineAddr&c.setMask) * c.assoc
-	// Hit scan: tags only, so the common case stays within one or two host
-	// cache lines.
-	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.st(i) != Invalid {
-			c.touch(i)
-			if write && c.st(i) != Modified {
-				atomic.StoreUint32(&c.states[i], uint32(Modified))
+	set := int(lineAddr & c.setMask)
+	bb := set * c.blockWords
+	tag := c.tagOf(lineAddr)
+	order := c.blocks[bb]
+	word := atomic.LoadUint64(&c.blocks[bb+1])
+	// Set-indexed probe: the MRU head resolves repeat accesses to the same
+	// line without scanning the set at all.
+	if h := int(order & 0xF); c.tagAt(bb, h) == tag && stateOf(word, h) != Invalid {
+		if write && stateOf(word, h) != Modified {
+			atomic.StoreUint64(&c.blocks[bb+1], setNibble(word, h, Modified))
+		}
+		return Result{Hit: true}
+	}
+	// Hit scan: the set's own block of tag words, one load per word with
+	// both halves compared, in ascending way order so a stale invalid
+	// duplicate (always at a higher way than the valid copy) can never
+	// shadow the real line. An odd-assoc set's unused top half can only
+	// phantom-match as way assoc, whose state bits are never set, so the
+	// Invalid check rejects it.
+	pat := uint64(tag) | uint64(tag)<<32
+	for wi := 2; wi < c.blockWords; wi++ {
+		x := c.blocks[bb+wi] ^ pat
+		if uint32(x) == 0 {
+			if w := 2 * (wi - 2); stateOf(word, w) != Invalid {
+				c.blocks[bb] = touchOrder(order, w)
+				if write && stateOf(word, w) != Modified {
+					atomic.StoreUint64(&c.blocks[bb+1], setNibble(word, w, Modified))
+				}
+				return Result{Hit: true}
 			}
-			return Result{Hit: true}
+		}
+		if x>>32 == 0 {
+			if w := 2*(wi-2) + 1; stateOf(word, w) != Invalid {
+				c.blocks[bb] = touchOrder(order, w)
+				if write && stateOf(word, w) != Modified {
+					atomic.StoreUint64(&c.blocks[bb+1], setNibble(word, w, Modified))
+				}
+				return Result{Hit: true}
+			}
 		}
 	}
-	// Miss: choose victim (first Invalid way, else LRU).
-	victim, oldest := base, ^uint64(0)
-	for i := base; i < base+c.assoc; i++ {
-		if c.st(i) == Invalid {
-			victim = i
-			break
-		}
-		if c.stamps[i] < oldest {
-			victim, oldest = i, c.stamps[i]
-		}
-	}
+	// Miss: choose victim — first Invalid way by index if the set has any,
+	// else the LRU tail nibble (exact-order LRU).
 	res := Result{}
-	if c.st(victim) != Invalid {
+	var victim int
+	if inv := ^c.present(word) & c.presMask; inv != 0 {
+		victim = bits.TrailingZeros32(inv) / 2
+		c.blocks[bb] = touchOrder(order, victim)
+	} else {
+		victim = int(order >> (4 * uint(c.assoc-1)) & 0xF)
 		res.HadEvict = true
-		res.Evicted = c.tags[victim]
-		res.Writeback = c.st(victim) == Modified
+		res.Evicted = c.lineOf(set, c.tagAt(bb, victim))
+		res.Writeback = stateOf(word, victim) == Modified
+		// Recycling the tail is a rotate: every other way ages one recency
+		// position and the refilled way re-enters at the front.
+		c.blocks[bb] = (order<<4 | uint64(victim)) & c.orderMask
 	}
 	st := Exclusive
 	if write {
 		st = Modified
 	}
-	c.tags[victim] = lineAddr
-	c.touch(victim)
-	atomic.StoreUint32(&c.states[victim], uint32(st))
+	c.setTag(bb, victim, tag)
+	atomic.StoreUint64(&c.blocks[bb+1], setNibble(word, victim, st))
 	return res
 }
 
@@ -232,8 +375,9 @@ func (c *Cache) Access(lineAddr uint64, write bool) Result {
 //     the line's bus shard generation — proof that no cross-cache transition
 //     has touched the shard since this cache filled the line private, so the
 //     silent E→M promotion MESI grants an exclusive owner applies. The
-//     promotion itself is a CAS that loses gracefully to a racing peer
-//     transition (the caller then retries through the locked bus path).
+//     promotion itself is a CAS on the set's states word that loses
+//     gracefully to any racing peer transition in the set (the caller then
+//     retries through the locked bus path).
 //
 // Everything else (misses, write-upgrades of Shared lines, stale stamps)
 // returns false and must go through Bus.Access. Call only from the owning
@@ -241,28 +385,39 @@ func (c *Cache) Access(lineAddr uint64, write bool) Result {
 //
 //simlint:hotpath
 func (c *Cache) FastAccess(lineAddr uint64, write bool) bool {
-	base := int(lineAddr&c.setMask) * c.assoc
-	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] != lineAddr {
+	set := int(lineAddr & c.setMask)
+	bb := set * c.blockWords
+	tag := c.tagOf(lineAddr)
+	pat := uint64(tag) | uint64(tag)<<32
+	for wi := 2; wi < c.blockWords; wi++ {
+		x := c.blocks[bb+wi] ^ pat
+		var w int
+		switch {
+		case uint32(x) == 0:
+			w = 2 * (wi - 2)
+		case x>>32 == 0:
+			w = 2*(wi-2) + 1
+		default:
 			continue
 		}
-		st := c.stAtomic(i)
+		word := atomic.LoadUint64(&c.blocks[bb+1])
+		st := stateOf(word, w)
 		switch {
 		case st == Invalid:
 			return false // stale tag; the locked path refills
 		case !write || st == Modified:
-			c.touch(i)
+			c.blocks[bb] = touchOrder(c.blocks[bb], w)
 			return true
 		case st == Exclusive:
 			sh := c.bus.shard(lineAddr)
-			if c.priv[i] != sh.xgen.Load() {
+			if c.priv[set*c.assoc+w] != sh.xgen.Load() {
 				return false // shard saw cross-cache traffic since the fill
 			}
-			if !atomic.CompareAndSwapUint32(&c.states[i],
-				uint32(Exclusive), uint32(Modified)) {
+			if !atomic.CompareAndSwapUint64(&c.blocks[bb+1],
+				word, setNibble(word, w, Modified)) {
 				return false // a peer transition won the race
 			}
-			c.touch(i)
+			c.blocks[bb] = touchOrder(c.blocks[bb], w)
 			return true
 		default: // Shared write: needs an invalidating upgrade transaction
 			return false
@@ -275,10 +430,13 @@ func (c *Cache) FastAccess(lineAddr uint64, write bool) bool {
 // a private (Exclusive) fill, arming the lock-free E→M promotion. Owner-only
 // state; called from the filling transaction.
 func (c *cacheFields) stampPrivate(lineAddr uint64, gen uint64) {
-	base := int(lineAddr&c.setMask) * c.assoc
-	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.st(i) != Invalid {
-			c.priv[i] = gen
+	set := int(lineAddr & c.setMask)
+	bb := set * c.blockWords
+	tag := c.tagOf(lineAddr)
+	word := c.statesWord(set)
+	for w := 0; w < c.assoc; w++ {
+		if c.tagAt(bb, w) == tag && stateOf(word, w) != Invalid {
+			c.priv[set*c.assoc+w] = gen
 			return
 		}
 	}
@@ -286,21 +444,35 @@ func (c *cacheFields) stampPrivate(lineAddr uint64, gen uint64) {
 
 // Probe reports the state of lineAddr without touching LRU state.
 func (c *Cache) Probe(lineAddr uint64) State {
-	base := int(lineAddr&c.setMask) * c.assoc
-	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.stAtomic(i) != Invalid {
-			return c.stAtomic(i)
+	set := int(lineAddr & c.setMask)
+	bb := set * c.blockWords
+	tag := c.tagOf(lineAddr)
+	word := c.statesWord(set)
+	for w := 0; w < c.assoc; w++ {
+		if c.tagAt(bb, w) == tag && stateOf(word, w) != Invalid {
+			return stateOf(word, w)
 		}
 	}
 	return Invalid
 }
 
 func (c *Cache) setState(lineAddr uint64, st State) {
-	base := int(lineAddr&c.setMask) * c.assoc
-	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.st(i) != Invalid {
-			atomic.StoreUint32(&c.states[i], uint32(st))
-			return
+	set := int(lineAddr & c.setMask)
+	bb := set * c.blockWords
+	tag := c.tagOf(lineAddr)
+	for w := 0; w < c.assoc; w++ {
+		if c.tagAt(bb, w) != tag {
+			continue
+		}
+		for {
+			word := c.statesWord(set)
+			if stateOf(word, w) == Invalid {
+				return
+			}
+			if atomic.CompareAndSwapUint64(&c.blocks[bb+1],
+				word, setNibble(word, w, st)) {
+				return
+			}
 		}
 	}
 }
@@ -326,18 +498,21 @@ func (c *Cache) lockedSetState(lineAddr uint64, st State) {
 // re-reads so a promoted line is correctly observed (and billed) as
 // Modified. Caller holds c.mu.
 func (c *cacheFields) invalidateSlot(lineAddr uint64) State {
-	base := int(lineAddr&c.setMask) * c.assoc
-	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] != lineAddr {
+	set := int(lineAddr & c.setMask)
+	bb := set * c.blockWords
+	tag := c.tagOf(lineAddr)
+	for w := 0; w < c.assoc; w++ {
+		if c.tagAt(bb, w) != tag {
 			continue
 		}
 		for {
-			st := c.stAtomic(i)
+			word := c.statesWord(set)
+			st := stateOf(word, w)
 			if st == Invalid {
 				return Invalid
 			}
-			if atomic.CompareAndSwapUint32(&c.states[i],
-				uint32(st), uint32(Invalid)) {
+			if atomic.CompareAndSwapUint64(&c.blocks[bb+1],
+				word, setNibble(word, w, Invalid)) {
 				return st
 			}
 		}
@@ -349,18 +524,21 @@ func (c *cacheFields) invalidateSlot(lineAddr uint64) State {
 // the state it held; CAS loop for the same reason as invalidateSlot. Caller
 // holds c.mu.
 func (c *cacheFields) downgradeSlot(lineAddr uint64) State {
-	base := int(lineAddr&c.setMask) * c.assoc
-	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] != lineAddr {
+	set := int(lineAddr & c.setMask)
+	bb := set * c.blockWords
+	tag := c.tagOf(lineAddr)
+	for w := 0; w < c.assoc; w++ {
+		if c.tagAt(bb, w) != tag {
 			continue
 		}
 		for {
-			st := c.stAtomic(i)
+			word := c.statesWord(set)
+			st := stateOf(word, w)
 			if st == Invalid || st == Shared {
 				return st
 			}
-			if atomic.CompareAndSwapUint32(&c.states[i],
-				uint32(st), uint32(Shared)) {
+			if atomic.CompareAndSwapUint64(&c.blocks[bb+1],
+				word, setNibble(word, w, Shared)) {
 				return st
 			}
 		}
@@ -386,15 +564,23 @@ func (c *Cache) downgrade(lineAddr uint64) State {
 // back.
 func (c *Cache) Flush() int {
 	dirty := 0
-	for i := range c.states {
-		if c.st(i) == Modified {
-			dirty++
+	for s := 0; s < c.sets; s++ {
+		bb := s * c.blockWords
+		word := c.statesWord(s)
+		for w := 0; w < c.assoc; w++ {
+			if stateOf(word, w) == Modified {
+				dirty++
+			}
 		}
-		atomic.StoreUint32(&c.states[i], uint32(Invalid))
-		c.tags[i] = 0
-		c.stamps[i] = 0
+		atomic.StoreUint64(&c.blocks[bb+1], 0)
+		for i := bb + 2; i < bb+2+(c.assoc+1)/2; i++ {
+			c.blocks[i] = 0
+		}
+	}
+	for i := range c.priv {
 		c.priv[i] = 0
 	}
+	c.resetOrder()
 	return dirty
 }
 
@@ -405,9 +591,12 @@ func (c *Cache) Snapshot() map[uint64]State {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[uint64]State)
-	for i := range c.states {
-		if c.st(i) != Invalid {
-			out[c.tags[i]] = c.st(i)
+	for s := 0; s < c.sets; s++ {
+		word := c.statesWord(s)
+		for w := 0; w < c.assoc; w++ {
+			if st := stateOf(word, w); st != Invalid {
+				out[c.lineOf(s, c.tagAt(s*c.blockWords, w))] = st
+			}
 		}
 	}
 	return out
@@ -420,10 +609,13 @@ func (c *Cache) Snapshot() map[uint64]State {
 func (c *Cache) ForceState(lineAddr uint64, st State) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	base := int(lineAddr&c.setMask) * c.assoc
-	for i := base; i < base+c.assoc; i++ {
-		if c.tags[i] == lineAddr && c.st(i) != Invalid {
-			atomic.StoreUint32(&c.states[i], uint32(st))
+	set := int(lineAddr & c.setMask)
+	bb := set * c.blockWords
+	tag := c.tagOf(lineAddr)
+	word := c.statesWord(set)
+	for w := 0; w < c.assoc; w++ {
+		if c.tagAt(bb, w) == tag && stateOf(word, w) != Invalid {
+			atomic.StoreUint64(&c.blocks[bb+1], setNibble(word, w, st))
 			return true
 		}
 	}
@@ -433,13 +625,11 @@ func (c *Cache) ForceState(lineAddr uint64, st State) bool {
 // Live returns the number of valid lines.
 func (c *Cache) Live() int {
 	n := 0
-	for i := range c.states {
-		if c.st(i) != Invalid {
-			n++
-		}
+	for s := 0; s < c.sets; s++ {
+		n += bits.OnesCount32(c.present(c.statesWord(s)))
 	}
 	return n
 }
 
 // Lines returns total capacity in lines.
-func (c *Cache) Lines() int { return len(c.states) }
+func (c *Cache) Lines() int { return c.sets * c.assoc }

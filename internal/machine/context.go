@@ -57,14 +57,22 @@ type Context struct {
 	dataHint  units.PageSize
 	fetchHint units.PageSize
 
-	// Micro-TLB: the translation of the last page touched. Purely a
-	// simulator fast path — consecutive same-page accesses are TLB hits by
-	// construction, so skipping the probe is behaviour-preserving. Writes
-	// only short-circuit when the cached entry carries the W bit.
-	lastDataBase  units.Addr
-	lastDataMask  units.Addr
-	lastDataW     bool
-	dataCacheOK   bool
+	// Address-pattern memo: the line of the last committed single access and
+	// whether that probe was a write. A repeat touch of the same line is an
+	// L1 hit by construction (the line is resident and MRU, and this context
+	// is the only mutator of its L1), so spinlock spins, reduction cells and
+	// barrier-flag polls fold into bulk-accounted hit cycles without
+	// re-probing — the same trick the bulk paths' runExtra plays for line
+	// runs. Valid only while no drain, flush or range/gather engine has run
+	// since the probe; never armed in true-sharing mode (coreMu != nil),
+	// where a sibling can evict the line.
+	foldLine uint64
+	foldMod  bool
+	foldOK   bool
+
+	// Fetch micro-TLB: the translation of the last code page touched.
+	// Consecutive same-page fetches are ITLB hits by construction, so
+	// skipping the probe is behaviour-preserving.
 	lastFetchBase units.Addr
 	lastFetchMask units.Addr
 	fetchCacheOK  bool
@@ -74,12 +82,20 @@ type Context struct {
 	lastMissLine  uint64
 	lastMissValid bool
 
-	// Translation cache: a direct-mapped, generation-stamped host-side cache
-	// of page-walk results, so repeat walks to an unchanged table never take
-	// the table's RWMutex. Purely a simulator fast path — simulated walk
-	// costs (MemRefs, DTLBWalks) are charged identically either way. Only
-	// the owning goroutine touches it; see walk for the validity protocol.
-	xlat []xlatEntry
+	// Translation cache: a direct-mapped host-side cache covering every
+	// scalar translation. Each slot packs two independently valid facts
+	// about one 4 KB-granule VPN: the page-walk result (generation-stamped
+	// via xlatGen, so repeat walks to an unchanged table never take the
+	// table's RWMutex) and a DTLB L1 way handle (validated against the live
+	// TLB on every use, so scalar accesses that stay TLB-resident skip the
+	// whole probe cascade). Purely a simulator fast path — simulated costs
+	// are charged identically either way. Only the owning goroutine touches
+	// it; see walk and translateScalar for the validity protocols.
+	xlat []xlatSlot
+	// xlatGen is the pagetable generation the walk halves of xlat were
+	// filled under; a mismatch with pt.Gen() lazily wipes the cache (the
+	// epoch sweep that replaced per-slot generation stamps).
+	xlatGen uint64
 
 	// Scratch buffers for GatherRange/ScatterRange index sorting, reused
 	// across calls so steady-state gathers are allocation-free.
@@ -116,16 +132,27 @@ type shootReq struct {
 // xlatSlots sizes the per-context translation cache (direct-mapped, keyed by
 // 4 KB virtual page number). Must be a power of two. 4096 slots cover 16 MB
 // of 4 KB pages — the working sets of the NPB classes the harness sweeps —
-// in ~200 KB per context; conflicts merely fall back to a locked walk.
+// in 64 KB per context; conflicts merely fall back to a locked walk.
 const xlatSlots = 4096
 
-// xlatEntry caches one page-walk result. gen is the pagetable generation
-// observed before the walk that produced it; 0 (the table's reserved
-// pre-first generation) marks an empty slot.
-type xlatEntry struct {
-	vpn uint64 // 4 KB-granule virtual page number (tag)
-	gen uint64
-	wr  pagetable.WalkResult
+// xlatSlot key bits. The key is vpn<<2 with two validity bits: xlatWay marks
+// the TLB way handle (low byte of val) valid, xlatWalk the packed page-walk
+// result (upper bits of val). The zero key carries neither bit, so a zeroed
+// cache is empty.
+const (
+	xlatWalk = 1 << 0
+	xlatWay  = 1 << 1
+)
+
+// xlatSlot caches what the simulator knows about one 4 KB-granule VPN in 16
+// bytes: val's low byte holds the DTLB L1 way (7 bits) and page-size class
+// (1 bit) for the scalar fast path, and its upper bits a
+// pagetable.WalkResult packed by pagetable.Pack. Either half may be valid
+// without the other (ITLB walks install no way; TLB-hit memoisation installs
+// no walk result).
+type xlatSlot struct {
+	key uint64
+	val uint64
 }
 
 // HasSibling reports whether an SMT sibling is co-scheduled on this core.
@@ -141,7 +168,7 @@ func (c *Context) DTLB() *tlb.Hierarchy { return c.dtlb }
 func (c *Context) ITLB() *tlb.Hierarchy { return c.itlb }
 
 func (c *Context) resetPageCache() {
-	c.dataCacheOK = false
+	c.foldOK = false
 	c.fetchCacheOK = false
 }
 
@@ -208,32 +235,90 @@ func (c *Context) countL1Miss(s units.PageSize) {
 	}
 }
 
-// walk resolves va through the page table, retrying after serviced faults.
-// Repeat walks are served from the per-context translation cache: every
-// entry is stamped with the table generation observed *before* its walk, so
-// a stamp that still equals Gen() proves the table has not mutated since and
-// the cached result is exactly what a fresh walk would return — without
-// taking the table's RWMutex. A stale stamp (or a protection mismatch, which
-// must reach OnFault) just falls through to the locked walk. Invalidation is
-// purely monotonic: Map/Unmap/Protect bump the generation, and the TLB-level
-// consequences are already handled by the shootdown mailbox.
-func (c *Context) walk(va units.Addr, write bool) pagetable.WalkResult {
+// translateScalar resolves va for the scalar access paths, returning the
+// page mask, the writability the page state may assume, and the cycle cost
+// beyond a first-level TLB hit. It fronts translateData with the xlat way
+// memo: a slot whose page-size class matches the probe hint and whose
+// memoised DTLB L1 way still holds the VPN (L1HitAt — which performs exactly
+// the recency refresh and hit accounting a Lookup hit would) resolves in one
+// validated probe, skipping the filter load and scan of the full cascade.
+// The size gate is what makes the memo hit byte-identical to translateData:
+// it proves the full path's first-probed class would have hit L1, so the
+// outcome, the zero cycle cost and the unchanged probe hint all coincide. A
+// failed validation has no effect and falls through to the full path, which
+// re-memoises: every translation resolved by translateData sits at its L1
+// set's MRU position, so the handle is O(1) to capture. Caller holds the
+// core lock in true-sharing mode.
+//
+//simlint:hotpath
+func (c *Context) translateScalar(va units.Addr, write bool) (units.Addr, bool, uint64) {
 	vpn := uint64(va) >> units.PageShift4K
 	slot := &c.xlat[vpn&(xlatSlots-1)]
-	if slot.gen == c.pt.Gen() && slot.vpn == vpn {
+	if slot.key>>2 == vpn && slot.key&xlatWay != 0 {
+		size := units.PageSize(slot.val >> 7 & 1)
+		if size == c.dataHint &&
+			c.dtlb.L1HitAt(size, int(slot.val&0x7f), size.VPN(va), write) {
+			return size.Mask(), write, 0
+		}
+	}
+	size, writable, cyc := c.translateData(va, write)
+	if w := c.dtlb.L1MRUWay(size, size.VPN(va)); w >= 0 {
+		memo := uint64(w) | uint64(size)<<7
+		if slot.key>>2 == vpn {
+			slot.key |= xlatWay
+			slot.val = slot.val&^0xff | memo
+		} else {
+			// Direct-mapped conflict: the way memo displaces the slot's
+			// previous VPN entirely (a half-valid mix of two pages would be
+			// unsound).
+			slot.key = vpn<<2 | xlatWay
+			slot.val = memo
+		}
+	}
+	return size.Mask(), writable, cyc
+}
+
+// walk resolves va through the page table, retrying after serviced faults.
+// Repeat walks are served from the per-context translation cache: the cache
+// as a whole is stamped with the table generation its walk results were
+// filled under (xlatGen), so while that stamp still equals Gen() the table
+// has not mutated and every cached result is exactly what a fresh walk would
+// return — without taking the table's RWMutex. A stale stamp lazily wipes
+// the cache; a protection mismatch (which must reach OnFault) just falls
+// through to the locked walk. Invalidation is purely monotonic: Map/Unmap/
+// Protect bump the generation, and the TLB-level consequences are already
+// handled by the shootdown mailbox. A walk that races a table mutation
+// installs a result the sweep will discard at the next walk (xlatGen is only
+// synced at entry, so it can never run ahead and validate a stale slot).
+func (c *Context) walk(va units.Addr, write bool) pagetable.WalkResult {
+	vpn := uint64(va) >> units.PageShift4K
+	if gen := c.pt.Gen(); gen != c.xlatGen {
+		clear(c.xlat)
+		c.xlatGen = gen
+	}
+	slot := &c.xlat[vpn&(xlatSlots-1)]
+	if slot.key>>2 == vpn && slot.key&xlatWalk != 0 {
+		wr := pagetable.UnpackWalk(slot.val >> 8)
 		need := pagetable.ProtRead
 		if write {
 			need = pagetable.ProtWrite
 		}
-		if slot.wr.Entry.Prot&need != 0 {
-			return slot.wr
+		if wr.Entry.Prot&need != 0 {
+			return wr
 		}
 	}
 	for {
-		gen := c.pt.Gen()
 		wr, err := c.pt.Access(va, write)
 		if err == nil {
-			*slot = xlatEntry{vpn: vpn, gen: gen, wr: wr}
+			if packed, ok := wr.Pack(); ok {
+				if slot.key>>2 == vpn {
+					slot.key |= xlatWalk
+					slot.val = slot.val&0xff | packed<<8
+				} else {
+					slot.key = vpn<<2 | xlatWalk
+					slot.val = packed << 8
+				}
+			}
 			return wr
 		}
 		faultable := errors.Is(err, pagetable.ErrProtViolation) ||
@@ -481,26 +566,38 @@ func (c *Context) flushRuns(write bool) uint64 {
 	return busy
 }
 
+// dataAccess commits one scalar data access. The fast path is the
+// address-pattern fold: a repeat touch of the last line charges one
+// bulk-accounted L1 hit without translating or probing (see the foldLine
+// field docs for the equivalence argument — a write only folds onto a
+// previous write, whose probe left the line Modified). Everything else
+// resolves through the translation memo and the cache hierarchy.
+//
+//simlint:hotpath
 func (c *Context) dataAccess(va units.Addr, write bool) {
 	if write {
 		c.Ctr.Stores++
 	} else {
 		c.Ctr.Loads++
 	}
-	cyc := c.costs.ExecCyc
 	c.lockCore()
 	if c.shootFlag.Load() {
 		c.drainShootdowns()
 	}
-	if !c.dataCacheOK || va&^c.lastDataMask != c.lastDataBase || (write && !c.lastDataW) {
-		size, writable, tcyc := c.translateData(va, write)
-		cyc += tcyc
-		c.lastDataMask = size.Mask()
-		c.lastDataBase = va &^ c.lastDataMask
-		c.lastDataW = writable
-		c.dataCacheOK = true
+	line := uint64(va) >> lineShift
+	if c.foldOK && line == c.foldLine && (!write || c.foldMod) {
+		c.Ctr.L1Hits++
+		c.unlockCore()
+		c.Ctr.Busy += c.costs.ExecCyc + c.costs.L1HitCyc
+		return
 	}
-	cyc += c.cacheAccess(uint64(va)>>lineShift, write)
+	cyc := c.costs.ExecCyc
+	_, _, tcyc := c.translateScalar(va, write)
+	cyc += tcyc
+	cyc += c.cacheAccess(line, write)
+	if c.coreMu == nil {
+		c.foldLine, c.foldMod, c.foldOK = line, write, true
+	}
 	c.unlockCore()
 	c.Ctr.Busy += cyc
 }
@@ -531,6 +628,7 @@ func (c *Context) AccessRange(base units.Addr, n int, stride int64, write bool) 
 		c.Ctr.Loads += uint64(n)
 	}
 	c.lockCore()
+	c.foldOK = false
 	var busy uint64
 	if stride != 0 && c.OnFault == nil {
 		busy = c.rangeBulk(base, n, stride, write)
@@ -542,10 +640,12 @@ func (c *Context) AccessRange(base units.Addr, n int, stride int64, write bool) 
 }
 
 // AccessRangeScalar is the O(elements) reference implementation of
-// AccessRange: every element is translated and cache-probed individually.
-// The bulk fast path is property-tested to produce byte-identical counters
-// (TestAccessRangeEquivalenceProperty); this entry point exists for those
-// tests and for the before/after micro-benchmarks.
+// AccessRange: every element is translated and cache-probed individually
+// through the pristine cascade (no translation memo, no fold, per-element
+// drain polls). The committed paths are property-tested to produce
+// byte-identical counters (TestAccessRangeEquivalenceProperty,
+// FuzzScalarFastPath); this entry point exists for those tests and for the
+// before/after micro-benchmarks.
 func (c *Context) AccessRangeScalar(base units.Addr, n int, stride int64, write bool) {
 	if n <= 0 {
 		return
@@ -556,14 +656,89 @@ func (c *Context) AccessRangeScalar(base units.Addr, n int, stride int64, write 
 		c.Ctr.Loads += uint64(n)
 	}
 	c.lockCore()
-	busy := c.rangeScalar(base, n, stride, write)
+	c.foldOK = false
+	busy := c.rangeScalarRef(base, n, stride, write)
 	c.unlockCore()
 	c.Ctr.Busy += busy
 }
 
-// rangeScalar is the per-element loop shared by the scalar entry points.
-// Caller holds the core lock.
+// AccessScalarRef is the pristine single-access reference: one element of
+// rangeScalarRef. It is what Load/Store commit to being equivalent with —
+// the fuzz harness replays committed op streams through it and compares
+// counters byte-for-byte.
+func (c *Context) AccessScalarRef(va units.Addr, write bool) {
+	if write {
+		c.Ctr.Stores++
+	} else {
+		c.Ctr.Loads++
+	}
+	c.lockCore()
+	c.foldOK = false
+	busy := c.rangeScalarRef(va, 1, 0, write)
+	c.unlockCore()
+	c.Ctr.Busy += busy
+}
+
+// drainWindow is the element interval at which the scalar range/gather
+// engines poll shootFlag. The mailbox contract is "applied at a subsequent
+// access of the owning context", which any polling interval satisfies; the
+// window turns n atomic loads into n/64 without changing where quiescent
+// runs drain (a stream with no shootdown in flight drains nowhere, and one
+// with a shootdown pending at entry drains at element 0 either way — the
+// property test in scalar_ref_test.go pins both). Must be a power of two.
+const drainWindow = 64
+
+// rangeScalar is the committed per-element engine behind the scalar range
+// entry points (zero strides, fault-handler contexts). It keeps the page
+// translation and the single-line fold in loop locals: one translation per
+// page run and one cache probe per line run, with repeat touches
+// bulk-accounted as the L1 hits they are by construction — byte-identical
+// counters to rangeScalarRef's element-at-a-time cascade. Shootdowns drain
+// at drainWindow boundaries, resetting both memos. Caller holds the core
+// lock.
+//
+//simlint:hotpath
 func (c *Context) rangeScalar(base units.Addr, n int, stride int64, write bool) uint64 {
+	var busy uint64
+	var pageBase, pageMask units.Addr
+	var pageW, pageOK bool
+	var foldLine uint64
+	foldOK := false
+	canFold := c.coreMu == nil
+	hitCyc := c.costs.ExecCyc + c.costs.L1HitCyc
+	for i := 0; i < n; i++ {
+		if i&(drainWindow-1) == 0 && c.shootFlag.Load() {
+			c.drainShootdowns()
+			pageOK, foldOK = false, false
+		}
+		va := base + units.Addr(int64(i)*stride)
+		line := uint64(va) >> lineShift
+		if foldOK && line == foldLine {
+			c.Ctr.L1Hits++
+			busy += hitCyc
+			continue
+		}
+		cyc := c.costs.ExecCyc
+		if !pageOK || va&^pageMask != pageBase || (write && !pageW) {
+			mask, w, tcyc := c.translateScalar(va, write)
+			cyc += tcyc
+			pageMask, pageBase, pageW, pageOK = mask, va&^mask, w, true
+		}
+		cyc += c.cacheAccess(line, write)
+		if canFold {
+			foldLine, foldOK = line, true
+		}
+		busy += cyc
+	}
+	return busy
+}
+
+// rangeScalarRef is the pristine per-element reference engine: every element
+// runs the full translate→TLB→L1→L2 cascade with no memo, no fold and a
+// per-element drain poll. The committed engines (rangeScalar, rangeBulk) are
+// property- and fuzz-tested to produce byte-identical counters. Caller holds
+// the core lock.
+func (c *Context) rangeScalarRef(base units.Addr, n int, stride int64, write bool) uint64 {
 	var busy uint64
 	for i := 0; i < n; i++ {
 		va := base + units.Addr(int64(i)*stride)
@@ -571,14 +746,8 @@ func (c *Context) rangeScalar(base units.Addr, n int, stride int64, write bool) 
 		if c.shootFlag.Load() {
 			c.drainShootdowns()
 		}
-		if !c.dataCacheOK || va&^c.lastDataMask != c.lastDataBase || (write && !c.lastDataW) {
-			size, writable, tcyc := c.translateData(va, write)
-			cyc += tcyc
-			c.lastDataMask = size.Mask()
-			c.lastDataBase = va &^ c.lastDataMask
-			c.lastDataW = writable
-			c.dataCacheOK = true
-		}
+		_, _, tcyc := c.translateData(va, write)
+		cyc += tcyc
 		cyc += c.cacheAccess(uint64(va)>>lineShift, write)
 		busy += cyc
 	}
@@ -604,6 +773,8 @@ func (c *Context) rangeBulk(base units.Addr, n int, stride int64, write bool) ui
 	var busy uint64
 	hitCyc := c.costs.ExecCyc + c.costs.L1HitCyc
 	batched := c.batchRuns()
+	var pageBase, pageMask units.Addr
+	var pageW, pageOK bool
 	abs := stride
 	if abs < 0 {
 		abs = -abs
@@ -611,24 +782,22 @@ func (c *Context) rangeBulk(base units.Addr, n int, stride int64, write bool) ui
 	for i := 0; i < n; {
 		if c.shootFlag.Load() {
 			c.drainShootdowns()
+			pageOK = false
 		}
 		va := base + units.Addr(int64(i)*stride)
-		if !c.dataCacheOK || va&^c.lastDataMask != c.lastDataBase || (write && !c.lastDataW) {
-			size, writable, tcyc := c.translateData(va, write)
+		if !pageOK || va&^pageMask != pageBase || (write && !pageW) {
+			mask, w, tcyc := c.translateScalar(va, write)
 			busy += tcyc
-			c.lastDataMask = size.Mask()
-			c.lastDataBase = va &^ c.lastDataMask
-			c.lastDataW = writable
-			c.dataCacheOK = true
+			pageMask, pageBase, pageW, pageOK = mask, va&^mask, w, true
 		}
 		// Elements landing on this page: ascending, ceil((pageEnd−va)/stride);
 		// descending, those down to the page base inclusive.
 		var segN int
 		if stride > 0 {
-			pageEnd := int64(c.lastDataBase) + int64(c.lastDataMask) + 1
+			pageEnd := int64(pageBase) + int64(pageMask) + 1
 			segN = int((pageEnd - int64(va) + stride - 1) / stride)
 		} else {
-			segN = int((int64(va)-int64(c.lastDataBase))/abs) + 1
+			segN = int((int64(va)-int64(pageBase))/abs) + 1
 		}
 		if segN > n-i {
 			segN = n - i
@@ -743,6 +912,7 @@ func (c *Context) indexedRange(base units.Addr, elemSize int64, idx []int64, wri
 	}
 	sorted := c.sortedIndices(idx)
 	c.lockCore()
+	c.foldOK = false
 	var busy uint64
 	if elemSize > 0 && c.OnFault == nil {
 		busy = c.gatherBulk(base, elemSize, sorted, write)
@@ -765,14 +935,57 @@ func (c *Context) indexedRangeScalar(base units.Addr, elemSize int64, idx []int6
 	}
 	sorted := c.sortedIndices(idx)
 	c.lockCore()
-	busy := c.gatherScalar(base, elemSize, sorted, write)
+	c.foldOK = false
+	busy := c.gatherScalarRef(base, elemSize, sorted, write)
 	c.unlockCore()
 	c.Ctr.Busy += busy
 }
 
-// gatherScalar is the per-element loop over an already-sorted index list.
-// Caller holds the core lock.
+// gatherScalar is the committed per-element engine over an already-sorted
+// index list (fault-handler contexts, non-positive element sizes). Same
+// loop-local page and fold memos and windowed drain polls as rangeScalar;
+// byte-identical counters to gatherScalarRef. Caller holds the core lock.
+//
+//simlint:hotpath
 func (c *Context) gatherScalar(base units.Addr, elemSize int64, sorted []int64, write bool) uint64 {
+	var busy uint64
+	var pageBase, pageMask units.Addr
+	var pageW, pageOK bool
+	var foldLine uint64
+	foldOK := false
+	canFold := c.coreMu == nil
+	hitCyc := c.costs.ExecCyc + c.costs.L1HitCyc
+	for i, ix := range sorted {
+		if i&(drainWindow-1) == 0 && c.shootFlag.Load() {
+			c.drainShootdowns()
+			pageOK, foldOK = false, false
+		}
+		va := base + units.Addr(ix*elemSize)
+		line := uint64(va) >> lineShift
+		if foldOK && line == foldLine {
+			c.Ctr.L1Hits++
+			busy += hitCyc
+			continue
+		}
+		cyc := c.costs.ExecCyc
+		if !pageOK || va&^pageMask != pageBase || (write && !pageW) {
+			mask, w, tcyc := c.translateScalar(va, write)
+			cyc += tcyc
+			pageMask, pageBase, pageW, pageOK = mask, va&^mask, w, true
+		}
+		cyc += c.cacheAccess(line, write)
+		if canFold {
+			foldLine, foldOK = line, true
+		}
+		busy += cyc
+	}
+	return busy
+}
+
+// gatherScalarRef is the pristine per-element reference for the gather
+// paths: the full cascade per element, like rangeScalarRef. Caller holds the
+// core lock.
+func (c *Context) gatherScalarRef(base units.Addr, elemSize int64, sorted []int64, write bool) uint64 {
 	var busy uint64
 	for _, ix := range sorted {
 		va := base + units.Addr(ix*elemSize)
@@ -780,14 +993,8 @@ func (c *Context) gatherScalar(base units.Addr, elemSize int64, sorted []int64, 
 		if c.shootFlag.Load() {
 			c.drainShootdowns()
 		}
-		if !c.dataCacheOK || va&^c.lastDataMask != c.lastDataBase || (write && !c.lastDataW) {
-			size, writable, tcyc := c.translateData(va, write)
-			cyc += tcyc
-			c.lastDataMask = size.Mask()
-			c.lastDataBase = va &^ c.lastDataMask
-			c.lastDataW = writable
-			c.dataCacheOK = true
-		}
+		_, _, tcyc := c.translateData(va, write)
+		cyc += tcyc
 		cyc += c.cacheAccess(uint64(va)>>lineShift, write)
 		busy += cyc
 	}
@@ -808,21 +1015,21 @@ func (c *Context) gatherBulk(base units.Addr, elemSize int64, sorted []int64, wr
 	var busy uint64
 	hitCyc := c.costs.ExecCyc + c.costs.L1HitCyc
 	batched := c.batchRuns()
+	var pageBase, pageMask units.Addr
+	var pageW, pageOK bool
 	n := len(sorted)
 	for i := 0; i < n; {
 		if c.shootFlag.Load() {
 			c.drainShootdowns()
+			pageOK = false
 		}
 		va := base + units.Addr(sorted[i]*elemSize)
-		if !c.dataCacheOK || va&^c.lastDataMask != c.lastDataBase || (write && !c.lastDataW) {
-			size, writable, tcyc := c.translateData(va, write)
+		if !pageOK || va&^pageMask != pageBase || (write && !pageW) {
+			mask, w, tcyc := c.translateScalar(va, write)
 			busy += tcyc
-			c.lastDataMask = size.Mask()
-			c.lastDataBase = va &^ c.lastDataMask
-			c.lastDataW = writable
-			c.dataCacheOK = true
+			pageMask, pageBase, pageW, pageOK = mask, va&^mask, w, true
 		}
-		pageLast := c.lastDataBase + c.lastDataMask
+		pageLast := pageBase + pageMask
 		for i < n {
 			eva := base + units.Addr(sorted[i]*elemSize)
 			if eva > pageLast {
@@ -1125,27 +1332,32 @@ func (c *Context) SettleForAudit() {
 
 // AuditTranslationCache re-validates every generation-current slot of the
 // per-context translation cache against the live page table. The cache's
-// validity protocol promises that a slot stamped with the current table
-// generation holds exactly what a fresh walk would return; this audit proves
-// it by re-walking. Stale or empty slots are legal (walk ignores them) and
-// are skipped. Call only while the context is quiescent (no access in
-// flight).
+// validity protocol promises that while xlatGen equals the current table
+// generation, every walk-valid slot holds exactly what a fresh walk would
+// return; this audit proves it by re-walking. A stale epoch (the whole
+// cache is then dead) and empty or way-only slots are legal (walk ignores
+// them) and are skipped. Call only while the context is quiescent (no
+// access in flight).
 func (c *Context) AuditTranslationCache() error {
-	gen := c.pt.Gen()
+	if c.xlatGen != c.pt.Gen() {
+		return nil
+	}
 	for i := range c.xlat {
 		slot := &c.xlat[i]
-		if slot.gen == 0 || slot.gen != gen {
+		if slot.key&xlatWalk == 0 {
 			continue
 		}
-		va := units.Addr(slot.vpn) << units.PageShift4K
+		vpn := slot.key >> 2
+		cached := pagetable.UnpackWalk(slot.val >> 8)
+		va := units.Addr(vpn) << units.PageShift4K
 		wr, err := c.pt.Translate(va)
 		if err != nil {
 			return fmt.Errorf("machine: context %d xlat slot %d: cached vpn %#x (gen %d) no longer translates: %w",
-				c.ID, i, slot.vpn, slot.gen, err)
+				c.ID, i, vpn, c.xlatGen, err)
 		}
-		if wr != slot.wr {
+		if wr != cached {
 			return fmt.Errorf("machine: context %d xlat slot %d: cached walk for vpn %#x is %+v but the table says %+v",
-				c.ID, i, slot.vpn, slot.wr, wr)
+				c.ID, i, vpn, cached, wr)
 		}
 	}
 	return nil
@@ -1154,9 +1366,18 @@ func (c *Context) AuditTranslationCache() error {
 // ForceTranslationCacheEntry overwrites the translation-cache slot for vpn
 // with the given walk result, stamped current. It exists so internal/check's
 // tests can corrupt the cache and prove AuditTranslationCache is not
-// vacuously green; simulation code must never call it.
+// vacuously green; simulation code must never call it. Results outside the
+// packed ranges (see pagetable.Pack) cannot be planted.
 func (c *Context) ForceTranslationCacheEntry(vpn uint64, wr pagetable.WalkResult) {
-	c.xlat[vpn&(xlatSlots-1)] = xlatEntry{vpn: vpn, gen: c.pt.Gen(), wr: wr}
+	packed, ok := wr.Pack()
+	if !ok {
+		panic(fmt.Sprintf("machine: ForceTranslationCacheEntry: unpackable walk result %+v", wr))
+	}
+	if gen := c.pt.Gen(); gen != c.xlatGen {
+		clear(c.xlat)
+		c.xlatGen = gen
+	}
+	c.xlat[vpn&(xlatSlots-1)] = xlatSlot{key: vpn<<2 | xlatWalk, val: packed << 8}
 }
 
 // drainShootdowns applies queued invalidations. Caller holds the core lock

@@ -3,6 +3,7 @@ package machine
 import (
 	"testing"
 
+	"hugeomp/internal/pagetable"
 	"hugeomp/internal/units"
 )
 
@@ -43,6 +44,60 @@ func BenchmarkAccessRangeStrided(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i += count {
 		c.AccessRange(0, count, 8192, false)
+	}
+}
+
+// The committed-scalar trio tracks the tentpole cost this PR sequence
+// optimises: random Loads over an 8 MB vector (TLB-hostile, the pattern the
+// translation memo and set-indexed probes serve), the per-element reference
+// on the same stream, and the repeated single-address case the fold memo
+// collapses. `go test -bench ScalarRandom ./internal/machine/ -count 3` —
+// host noise on identical builds spans several ns, so never trust one run.
+func scalarBenchCtx(b *testing.B) *Context {
+	pt := pagetable.New()
+	mapRange(b, pt, 0, 16*units.MB, units.Size4K)
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+	ctxs, err := m.Configure(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := ctxs[0]
+	c.SetPageHint(units.Size4K)
+	return c
+}
+
+const scalarRandElems = 1 << 20 // 8 MB of 8-byte elements
+
+func BenchmarkScalarRandom(b *testing.B) {
+	c := scalarBenchCtx(b)
+	seed := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		c.Load(units.Addr((int(seed>>17) & (scalarRandElems - 1)) * 8))
+	}
+}
+
+func BenchmarkScalarRandomRef(b *testing.B) {
+	c := scalarBenchCtx(b)
+	seed := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		c.AccessScalarRef(units.Addr((int(seed>>17)&(scalarRandElems-1))*8), false)
+	}
+}
+
+func BenchmarkScalarSingleAddr(b *testing.B) {
+	c := scalarBenchCtx(b)
+	c.Load(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Load(0)
 	}
 }
 

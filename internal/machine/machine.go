@@ -155,7 +155,7 @@ func (m *Machine) Configure(n int) ([]*Context, error) {
 				itlb: cr.itlb, dtlb: cr.dtlb, l1: cr.l1, l2: lr.l2,
 				costs:      &m.Model.Costs,
 				hasSibling: perCore[ck] > 1,
-				xlat:       make([]xlatEntry, xlatSlots),
+				xlat:       make([]xlatSlot, xlatSlots),
 			}
 			if perCore[ck] > 1 {
 				ctx.coreMu = cr.mu
@@ -186,7 +186,7 @@ func (m *Machine) newContext(id int, s slot, itlbSpec, dtlbSpec tlb.Spec,
 		l2:         l2,
 		costs:      &m.Model.Costs,
 		hasSibling: hasSibling,
-		xlat:       make([]xlatEntry, xlatSlots),
+		xlat:       make([]xlatSlot, xlatSlots),
 	}
 	ctx.smtFlush = m.Model.SMT == SMTFlushOnSwitch && hasSibling
 	ctx.resetPageCache()

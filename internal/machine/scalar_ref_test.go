@@ -1,0 +1,230 @@
+package machine
+
+import (
+	"testing"
+
+	"hugeomp/internal/pagetable"
+	"hugeomp/internal/units"
+)
+
+// walks returns the total page-walk count, the observable that tells whether
+// a queued shootdown has actually been applied (the re-touch must walk).
+func walks(c *Context) uint64 {
+	return c.Ctr.DTLBWalks4K + c.Ctr.DTLBWalks2M
+}
+
+// TestDrainWindowObservationEquivalence pins the batched-drain contract
+// promised by drainWindow's doc comment: a shootdown pending when a
+// committed range engine is entered is drained before element 0 — exactly
+// where the per-element scalar reference drains it — so the two engines stay
+// byte-identical; and on a quiescent stream (nothing queued) neither engine
+// drains anything, so the window polls are free of observable effect.
+//
+// Zero-stride AccessRange dispatches to the committed scalar engine
+// (rangeScalar), making the committed drain points directly comparable to
+// AccessRangeScalar's.
+func TestDrainWindowObservationEquivalence(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			const n = 200 // spans several drain windows (drainWindow = 64)
+			base := units.Addr(0)
+
+			t.Run("pending-at-entry", func(t *testing.T) {
+				a, s := cfg.mk(t), cfg.mk(t)
+				// Warm the translation for base so the shootdown has an
+				// entry to kill.
+				a.Load(base)
+				s.AccessScalarRef(base, false)
+				if a.Ctr != s.Ctr {
+					t.Fatalf("warmup diverged:\ncommitted: %+v\nreference: %+v", a.Ctr, s.Ctr)
+				}
+				preA, preS := walks(a), walks(s)
+				a.InvalidatePage(base, cfg.ps)
+				s.InvalidatePage(base, cfg.ps)
+				a.AccessRange(base, n, 0, false) // zero stride: committed scalar engine
+				s.AccessRangeScalar(base, n, 0, false)
+				if a.Ctr != s.Ctr {
+					t.Errorf("drain points observable:\ncommitted: %+v\nreference: %+v", a.Ctr, s.Ctr)
+				}
+				// The drain must have landed before element 0: the first
+				// touch re-walks, the remaining n-1 do not.
+				if got := walks(a) - preA; got != 1 {
+					t.Errorf("committed engine: walks after pending shootdown = %d, want 1", got)
+				}
+				if got := walks(s) - preS; got != 1 {
+					t.Errorf("reference engine: walks after pending shootdown = %d, want 1", got)
+				}
+			})
+
+			t.Run("quiescent", func(t *testing.T) {
+				a, s := cfg.mk(t), cfg.mk(t)
+				a.Load(base)
+				s.AccessScalarRef(base, false)
+				preA, preS := walks(a), walks(s)
+				a.AccessRange(base, n, 0, false)
+				s.AccessRangeScalar(base, n, 0, false)
+				if a.Ctr != s.Ctr {
+					t.Errorf("quiescent streams diverged:\ncommitted: %+v\nreference: %+v", a.Ctr, s.Ctr)
+				}
+				// Nothing queued: the window polls must drain nothing.
+				if got := walks(a) - preA; got != 0 {
+					t.Errorf("committed engine walked %d times on a quiescent warm page", got)
+				}
+				if got := walks(s) - preS; got != 0 {
+					t.Errorf("reference engine walked %d times on a quiescent warm page", got)
+				}
+			})
+
+			t.Run("full-flush-gather", func(t *testing.T) {
+				a, s := cfg.mk(t), cfg.mk(t)
+				idx := make([]int64, 160)
+				for j := range idx {
+					idx[j] = int64((j * 37) % 2048)
+				}
+				a.GatherRange(base, 8, idx)
+				s.GatherRangeScalar(base, 8, idx)
+				a.FlushTLBs()
+				s.FlushTLBs()
+				a.GatherRange(base, 8, idx)
+				s.GatherRangeScalar(base, 8, idx)
+				if a.Ctr != s.Ctr {
+					t.Errorf("flush drain diverged:\ncommitted: %+v\nreference: %+v", a.Ctr, s.Ctr)
+				}
+			})
+		})
+	}
+}
+
+// fuzzWorld is one side of the fuzz comparison: a context plus its page
+// table, so the op stream can degrade mappings the way thp.Manager.Demote
+// does (unmap the 2MB chunk, shoot it down, re-map the same frames as 4KB
+// pages).
+type fuzzWorld struct {
+	c  *Context
+	pt *pagetable.Table
+}
+
+func mkFuzzWorld(t testing.TB, ps units.PageSize) fuzzWorld {
+	pt := pagetable.New()
+	mapRange(t, pt, 0, 4*units.MB, ps)
+	m := New(Opteron270())
+	m.AttachProcess(pt)
+	ctxs, err := m.Configure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs[0].SetPageHint(ps)
+	return fuzzWorld{c: ctxs[0], pt: pt}
+}
+
+// demoteChunk mirrors thp.Manager.Demote's degradation recipe on one world:
+// unmap the 2MB chunk, queue the shootdown, and re-map the same physical
+// frames as 512 4KB pages. Reports whether the chunk was actually demoted
+// (false when it is already 4KB-mapped, so callers stay in lockstep).
+func (w fuzzWorld) demoteChunk(t testing.TB, chunk int) bool {
+	chunkVA := units.Addr(int64(chunk) * units.Size2M.Bytes())
+	if _, err := w.pt.Unmap(chunkVA, units.Size2M); err != nil {
+		return false
+	}
+	w.c.InvalidatePage(chunkVA, units.Size2M)
+	for pi := 0; pi < 512; pi++ {
+		pageVA := chunkVA + units.Addr(int64(pi)*units.PageSize4K)
+		// Same frame numbering mapRange used for the 2MB chunk.
+		pfn := uint64(1<<20) + uint64(int64(chunkVA)/units.PageSize4K) + uint64(pi)
+		if err := w.pt.Map(pageVA, units.Size4K, pfn, pagetable.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return true
+}
+
+// FuzzScalarFastPath drives random interleavings of scalar loads/stores,
+// ranges and gathers — with TLB shootdowns, full flushes and 2MB→4KB page
+// degradation injected between operations — through the committed fast path
+// (translation memo, set-indexed probes, fold memo, batched drains) and the
+// pristine per-element reference engines, and requires byte-identical
+// counters after every single operation.
+func FuzzScalarFastPath(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{6, 0, 0, 0, 0, 0, 8, 0, 0, 1, 255, 17})
+	f.Add([]byte{7, 0, 0, 2, 9, 3, 5, 100, 4, 8, 1, 1, 0, 200, 77})
+	f.Add([]byte{8, 1, 0, 8, 0, 0, 3, 50, 50, 6, 4, 0, 1, 4, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		// Byte 0 picks the initial page-size policy; 2MB policies give the
+		// degradation op something to demote.
+		ps := units.Size4K
+		if data[0]&1 == 1 {
+			ps = units.Size2M
+		}
+		com := mkFuzzWorld(t, ps) // committed fast path
+		ref := mkFuzzWorld(t, ps) // per-element reference
+
+		const span = 4 * units.MB
+		for i := 1; i+2 < len(data); i += 3 {
+			op, a1, a2 := data[i], int64(data[i+1]), int64(data[i+2])
+			va := units.Addr((a1<<12 | a2<<5 | a1*13) % span)
+			switch op % 9 {
+			case 0:
+				com.c.Load(va)
+				ref.c.AccessScalarRef(va, false)
+			case 1:
+				com.c.Store(va)
+				ref.c.AccessScalarRef(va, true)
+			case 2, 3:
+				count := int(a1)%120 + 1
+				stride := a2%200 + 1
+				if int64(va)+int64(count)*stride >= span {
+					continue
+				}
+				write := op%9 == 3
+				com.c.AccessRange(va, count, stride, write)
+				ref.c.AccessRangeScalar(va, count, stride, write)
+			case 4:
+				// Zero stride: forces the committed scalar engine, the
+				// path whose drain windows the drainWindow test pins.
+				count := int(a1)%150 + 1
+				com.c.AccessRange(va, count, 0, a2&1 == 1)
+				ref.c.AccessRangeScalar(va, count, 0, a2&1 == 1)
+			case 5:
+				n := int(a1)%60 + 1
+				idx := make([]int64, n)
+				bound := (span - int64(va)) / 8
+				if bound <= 0 {
+					continue
+				}
+				for j := range idx {
+					idx[j] = (a2*31 + int64(j)*(a1+7)) % bound
+				}
+				com.c.GatherRange(va, 8, idx)
+				ref.c.GatherRangeScalar(va, 8, idx)
+			case 6:
+				page := va &^ units.Addr(units.PageSize4K-1)
+				size := units.Size4K
+				if a2&1 == 1 {
+					size = units.Size2M
+					page = va &^ units.Addr(units.Size2M.Bytes()-1)
+				}
+				com.c.InvalidatePage(page, size)
+				ref.c.InvalidatePage(page, size)
+			case 7:
+				com.c.FlushTLBs()
+				ref.c.FlushTLBs()
+			case 8:
+				chunk := int(a1) % 2
+				dc := com.demoteChunk(t, chunk)
+				dr := ref.demoteChunk(t, chunk)
+				if dc != dr {
+					t.Fatalf("op %d: demote lockstep broken: committed=%v reference=%v", i, dc, dr)
+				}
+			}
+			if com.c.Ctr != ref.c.Ctr {
+				t.Fatalf("op %d (%d): counters diverged:\ncommitted: %+v\nreference: %+v",
+					i, op%9, com.c.Ctr, ref.c.Ctr)
+			}
+		}
+	})
+}

@@ -61,6 +61,44 @@ type WalkResult struct {
 	Entry   Entry
 }
 
+// Packed walk-result layout (low to high): Size (1 bit), Prot (2 bits),
+// MemRefs (6 bits), PFN (44 bits) — 53 bits total, leaving headroom for
+// callers to pack their own metadata alongside.
+const (
+	packProtShift = 1
+	packRefShift  = 3
+	packPFNShift  = 9
+	// PackedWalkBits is the width of a packed walk result.
+	PackedWalkBits = 53
+)
+
+// Pack encodes the result into the low PackedWalkBits bits of a uint64, for
+// compact per-context translation caches. ok is false when the result
+// exceeds the packed ranges (a PFN at or above 2^44, or a walk of 64+ memory
+// references) — callers simply skip caching such results.
+func (wr WalkResult) Pack() (v uint64, ok bool) {
+	if wr.Entry.PFN >= 1<<44 || wr.MemRefs < 0 || wr.MemRefs >= 64 {
+		return 0, false
+	}
+	v = uint64(wr.Entry.Size)&1 |
+		uint64(wr.Entry.Prot)<<packProtShift |
+		uint64(wr.MemRefs)<<packRefShift |
+		wr.Entry.PFN<<packPFNShift
+	return v, true
+}
+
+// UnpackWalk is the inverse of Pack.
+func UnpackWalk(v uint64) WalkResult {
+	return WalkResult{
+		MemRefs: int(v >> packRefShift & 0x3f),
+		Entry: Entry{
+			PFN:  v >> packPFNShift & (1<<44 - 1),
+			Size: units.PageSize(v & 1),
+			Prot: Prot(v >> packProtShift & 3),
+		},
+	}
+}
+
 type pgdEntry struct {
 	large bool
 	// large mapping

@@ -8,9 +8,35 @@
 // goroutine-safe; the machine layer enforces single-owner access (its
 // default resource-partitioned SMT model) or wraps accesses in a lock (the
 // true-shared ablation).
+//
+// The implementation simulates an associative structure without paying
+// associative host cost on the common paths:
+//
+//   - Replacement recency is a per-set permutation vector — one byte per
+//     way, most-recently-used first — packed into a handful of uint64
+//     words, rather than LRU timestamps. Every stamp refresh of the old
+//     scheme is a byte rotation here, so "evict the minimum stamp" and
+//     "evict the last byte" select the same way, but victim selection is a
+//     single shift instead of an associativity-wide scan, and a recency
+//     refresh is a short SWAR byte search plus one masked shift per word —
+//     no pointer chasing — which matters because the fully associative
+//     32-way L1 DTLBs of the paper's processors sit on the scalar access
+//     hot path.
+//
+//   - A counting presence filter (a small power-of-two array of per-hash
+//     resident counts) answers "definitely not resident" with one load. It
+//     is exact — no false negatives — so a filtered miss is byte-identical
+//     to a scanned miss, and a miss never perturbs recency state, so
+//     skipping the scan is invisible. (The hierarchy layer keeps a second,
+//     union filter across both levels that answers full-stack misses before
+//     any structure is probed; the per-structure filter here is what spares
+//     the fully associative scans when the probe cascade does run.)
 package tlb
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config sizes one TLB structure. Ways == 0 or Ways >= Entries means fully
 // associative. Entries == 0 means the structure is absent (for example the
@@ -20,20 +46,42 @@ type Config struct {
 	Ways    int
 }
 
-type way struct {
-	vpn      uint64
-	stamp    uint64
-	valid    bool
-	writable bool // write permission recorded at fill time (the W bit)
-}
+const (
+	metaValid    = 1 << 0
+	metaWritable = 1 << 1 // write permission recorded at fill time (the W bit)
+)
 
-// TLB is a single LRU translation cache for one page-size class.
+// TLB is a single LRU translation cache for one page-size class. Ways are
+// stored structure-of-arrays (set-major) so the hit scan walks a dense
+// []uint64 of VPNs.
 type TLB struct {
-	ways     []way // sets*assoc entries, set-major
-	assoc    int
-	setMask  uint64
-	tick     uint64
-	mruIndex []int // per-set most-recently-used way, checked first
+	vpns []uint64
+	meta []uint8 // metaValid | metaWritable
+
+	// Per-set recency permutation: ow words of order per set, one byte per
+	// way. Byte position 0 of the set's first word is the MRU way's
+	// set-local index; the last in-range byte is the LRU victim. Every way,
+	// valid or not, always appears exactly once in its set's vector.
+	//
+	// Unused high bytes of a set's last word (when assoc is not a multiple
+	// of 8) stay zero. The SWAR byte search below may therefore flag such a
+	// byte when looking for way 0 — but way 0's true byte always sits at a
+	// position below assoc, hence at the same or an earlier word and a
+	// lower bit offset, and the search takes the lowest flagged byte, so
+	// the phantom match is never selected.
+	order []uint64
+	ow    int      // order words per set: (assoc+7)/8
+	live  []uint16 // valid ways per set
+
+	// Counting presence filter: filt[vpn&filtMask] counts resident VPNs
+	// hashing to the slot. Zero means vpn is definitely absent. Nil for
+	// narrow structures (assoc <= 8), whose set scan is already one load
+	// wide — see New.
+	filt     []uint16
+	filtMask uint64
+
+	assoc   int
+	setMask uint64
 
 	hits   uint64
 	misses uint64
@@ -57,11 +105,104 @@ func New(cfg Config) *TLB {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("tlb: set count %d not a power of two", sets))
 	}
-	return &TLB{
-		ways:     make([]way, cfg.Entries),
-		assoc:    assoc,
-		setMask:  uint64(sets - 1),
-		mruIndex: make([]int, sets),
+	if cfg.Entries > 1<<16 {
+		panic(fmt.Sprintf("tlb: %d entries exceed recency-link width", cfg.Entries))
+	}
+	if assoc > 256 {
+		panic(fmt.Sprintf("tlb: associativity %d exceeds recency-byte width", assoc))
+	}
+	// The counting filter earns its keep only when it spares a wide scan:
+	// for associativities of eight or fewer ways the whole set's VPNs fit
+	// in one host cache line, so a probe costs the same load the filter
+	// would, while maintaining the counts charges extra stores on every
+	// fill and eviction. Narrow structures therefore run unfiltered; the
+	// hierarchy's union filter still short-circuits full-stack misses.
+	filtSlots := 0
+	if assoc > 8 {
+		filtSlots = 16
+		for filtSlots < 8*cfg.Entries {
+			filtSlots <<= 1
+		}
+	}
+	ow := (assoc + 7) / 8
+	t := &TLB{
+		vpns:    make([]uint64, cfg.Entries),
+		meta:    make([]uint8, cfg.Entries),
+		order:   make([]uint64, sets*ow),
+		ow:      ow,
+		live:    make([]uint16, sets),
+		assoc:   assoc,
+		setMask: uint64(sets - 1),
+	}
+	if filtSlots > 0 {
+		t.filt = make([]uint16, filtSlots)
+		t.filtMask = uint64(filtSlots - 1)
+	}
+	t.resetOrder()
+	return t
+}
+
+// resetOrder writes the identity permutation into every set's recency
+// vector (all ways invalid, so the order is arbitrary but deterministic).
+func (t *TLB) resetOrder() {
+	sets := int(t.setMask) + 1
+	for s := 0; s < sets; s++ {
+		ob := s * t.ow
+		for j := 0; j < t.ow; j++ {
+			t.order[ob+j] = 0
+		}
+		for p := 0; p < t.assoc; p++ {
+			t.order[ob+p>>3] |= uint64(p&0xff) << (8 * (p & 7))
+		}
+	}
+}
+
+// headWay returns the MRU way of the set whose order vector starts at ob.
+func (t *TLB) headWay(ob int) int { return int(t.order[ob] & 0xff) }
+
+// tailWay returns the LRU way — byte position assoc-1 of the vector.
+func (t *TLB) tailWay(ob int) int {
+	p := t.assoc - 1
+	return int(t.order[ob+p>>3] >> (8 * (p & 7)) & 0xff)
+}
+
+// touchPos moves the way at known recency position p to the front: bytes
+// [0,p) shift up one position and the way's byte is reinserted at position
+// 0. Positions above p (including the zero padding bytes past assoc) are
+// untouched.
+func (t *TLB) touchPos(ob, p, w int) {
+	wi, bi := p>>3, p&7
+	carry := uint64(w & 0xff)
+	for j := 0; j < wi; j++ {
+		word := t.order[ob+j]
+		t.order[ob+j] = word<<8 | carry
+		carry = word >> 56
+	}
+	word := t.order[ob+wi]
+	low := word & (uint64(1)<<(8*bi) - 1)
+	var high uint64
+	if bi < 7 {
+		high = word &^ (uint64(1)<<(8*(bi+1)) - 1)
+	}
+	t.order[ob+wi] = high | low<<8 | carry
+}
+
+// touchWay moves set-local way li to the front (MRU position) of its set's
+// recency vector — the permutation equivalent of refreshing an LRU stamp.
+// The SWAR probe flags the lowest byte equal to li in each word; see the
+// order field's comment for why zero padding bytes can never win.
+func (t *TLB) touchWay(set uint64, li int) {
+	ob := int(set) * t.ow
+	if t.headWay(ob) == li {
+		return
+	}
+	pat := uint64(li&0xff) * 0x0101010101010101
+	for j := 0; j < t.ow; j++ {
+		x := t.order[ob+j] ^ pat
+		if m := (x - 0x0101010101010101) &^ x & 0x8080808080808080; m != 0 {
+			t.touchPos(ob, j*8+bits.TrailingZeros64(m)/8, li)
+			return
+		}
 	}
 }
 
@@ -70,10 +211,19 @@ func (t *TLB) Entries() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.ways)
+	return len(t.vpns)
 }
 
-// Lookup probes for vpn and refreshes its LRU stamp on a hit. A write
+// countMiss records a miss that was resolved without probing this structure
+// (the hierarchy's filter fast path); misses do not touch recency state, so
+// the skipped scan is unobservable beyond this counter.
+func (t *TLB) countMiss() {
+	if t != nil {
+		t.misses++
+	}
+}
+
+// Lookup probes for vpn and refreshes its LRU recency on a hit. A write
 // (needW) hitting an entry filled without write permission misses — the
 // hardware takes a permission microfault and re-walks, which is how
 // protection upgrades become visible (x86's dirty/W-bit behaviour).
@@ -84,33 +234,82 @@ func (t *TLB) Lookup(vpn uint64, needW bool) bool {
 
 // LookupEntry is Lookup returning the resident entry (so callers moving
 // entries between levels can preserve the recorded permission).
+//
+//simlint:hotpath
 func (t *TLB) LookupEntry(vpn uint64, needW bool) (Entry, bool) {
 	if t == nil {
+		return Entry{}, false
+	}
+	if t.filt != nil && t.filt[vpn&t.filtMask] == 0 {
+		t.misses++
 		return Entry{}, false
 	}
 	set := vpn & t.setMask
 	base := int(set) * t.assoc
 	// MRU fast path: spatial locality makes consecutive accesses to the
-	// same page the common case.
-	if m := t.mruIndex[set]; t.ways[base+m].valid && t.ways[base+m].vpn == vpn &&
-		(!needW || t.ways[base+m].writable) {
-		t.tick++
-		t.ways[base+m].stamp = t.tick
+	// same page the common case, and the MRU way is by definition already
+	// at the front of the recency vector.
+	if h := base + t.headWay(int(set)*t.ow); t.vpns[h] == vpn && t.meta[h]&metaValid != 0 {
+		if needW && t.meta[h]&metaWritable == 0 {
+			t.misses++
+			return Entry{}, false
+		}
 		t.hits++
-		return Entry{VPN: vpn, Writable: t.ways[base+m].writable}, true
+		return Entry{VPN: vpn, Writable: t.meta[h]&metaWritable != 0}, true
 	}
-	for i := 0; i < t.assoc; i++ {
-		w := &t.ways[base+i]
-		if w.valid && w.vpn == vpn && (!needW || w.writable) {
-			t.tick++
-			w.stamp = t.tick
-			t.mruIndex[set] = i
+	for i := base; i < base+t.assoc; i++ {
+		if t.vpns[i] == vpn && t.meta[i]&metaValid != 0 {
+			if needW && t.meta[i]&metaWritable == 0 {
+				t.misses++
+				return Entry{}, false
+			}
+			t.touchWay(set, i-base)
 			t.hits++
-			return Entry{VPN: vpn, Writable: w.writable}, true
+			return Entry{VPN: vpn, Writable: t.meta[i]&metaWritable != 0}, true
 		}
 	}
 	t.misses++
 	return Entry{}, false
+}
+
+// HitAt verifies that global way index idx still holds vpn with sufficient
+// permission and, if so, performs exactly the mutation a Lookup hit would
+// (recency move-to-front plus hit accounting). It returns false otherwise —
+// with no counter or recency effect — so the caller can fall back to the
+// full probe sequence. This is the validation step of the machine layer's
+// scalar translation memo: a stale memo entry is detected against the live
+// way, never trusted.
+//
+//simlint:hotpath
+func (t *TLB) HitAt(idx int, vpn uint64, needW bool) bool {
+	if t == nil || idx < 0 || idx >= len(t.vpns) {
+		return false
+	}
+	if t.vpns[idx] != vpn || t.meta[idx]&metaValid == 0 {
+		return false
+	}
+	if needW && t.meta[idx]&metaWritable == 0 {
+		return false
+	}
+	set := vpn & t.setMask
+	t.touchWay(set, idx-int(set)*t.assoc)
+	t.hits++
+	return true
+}
+
+// MRUWay returns the global way index holding vpn if it sits at the MRU
+// position of its set — where every just-resolved translation lands — or -1.
+// The machine layer records this handle in its scalar translation memo.
+func (t *TLB) MRUWay(vpn uint64) int {
+	if t == nil {
+		return -1
+	}
+	set := vpn & t.setMask
+	idx := int(set)*t.assoc + t.headWay(int(set)*t.ow)
+	if t.meta[idx]&metaValid != 0 && t.vpns[idx] == vpn {
+		return idx
+	}
+	return -1
 }
 
 // Entry is a TLB entry as seen by eviction handling.
@@ -124,54 +323,96 @@ type Entry struct {
 // happened. Inserting a vpn that is already resident updates it in place
 // (e.g. a permission upgrade after a W-bit microfault).
 func (t *TLB) Insert(vpn uint64, writable bool) (evicted Entry, wasEvicted bool) {
-	if t == nil {
-		return Entry{}, false
-	}
-	set := vpn & t.setMask
-	base := int(set) * t.assoc
-	inPlace, empty, lru := -1, -1, -1
-	oldest := ^uint64(0)
-	for i := 0; i < t.assoc; i++ {
-		w := &t.ways[base+i]
-		switch {
-		case w.valid && w.vpn == vpn:
-			inPlace = i
-		case !w.valid:
-			if empty < 0 {
-				empty = i
-			}
-		case w.stamp < oldest:
-			oldest, lru = w.stamp, i
-		}
-	}
-	victim := inPlace
-	if victim < 0 {
-		victim = empty
-	}
-	if victim < 0 {
-		victim = lru
-	}
-	w := &t.ways[base+victim]
-	wasEvicted = inPlace < 0 && w.valid
-	evicted = Entry{VPN: w.vpn, Writable: w.writable}
-	t.tick++
-	*w = way{vpn: vpn, stamp: t.tick, valid: true, writable: writable}
-	t.mruIndex[set] = victim
+	evicted, wasEvicted, _ = t.InsertEx(vpn, writable)
 	return evicted, wasEvicted
 }
 
+// InsertEx is Insert additionally reporting whether the fill updated a
+// resident entry in place — the membership information the hierarchy's
+// union filter needs.
+//
+//simlint:hotpath
+func (t *TLB) InsertEx(vpn uint64, writable bool) (evicted Entry, wasEvicted, inPlace bool) {
+	if t == nil {
+		return Entry{}, false, false
+	}
+	set := vpn & t.setMask
+	base := int(set) * t.assoc
+	ob := int(set) * t.ow
+	victim := -1
+	if t.filt == nil || t.filt[vpn&t.filtMask] != 0 {
+		for i := base; i < base+t.assoc; i++ {
+			if t.vpns[i] == vpn && t.meta[i]&metaValid != 0 {
+				victim, inPlace = i, true
+				break
+			}
+		}
+	}
+	tailVictim := false
+	if victim < 0 {
+		if int(t.live[set]) < t.assoc {
+			// The set has room: fill the lowest-indexed invalid way, the
+			// same way the stamp-scan victim search picked it.
+			for i := base; i < base+t.assoc; i++ {
+				if t.meta[i]&metaValid == 0 {
+					victim = i
+					break
+				}
+			}
+		} else {
+			// A full set always evicts the LRU tail, whose recency
+			// position is known — the move-to-front below needs no search.
+			victim = base + t.tailWay(ob)
+			tailVictim = true
+		}
+	}
+	wasEvicted = !inPlace && t.meta[victim]&metaValid != 0
+	evicted = Entry{VPN: t.vpns[victim], Writable: t.meta[victim]&metaWritable != 0}
+	if !inPlace {
+		if !wasEvicted {
+			t.live[set]++
+		}
+		if t.filt != nil {
+			if wasEvicted {
+				t.filt[t.vpns[victim]&t.filtMask]--
+			}
+			t.filt[vpn&t.filtMask]++
+		}
+	}
+	t.vpns[victim] = vpn
+	m := uint8(metaValid)
+	if writable {
+		m |= metaWritable
+	}
+	t.meta[victim] = m
+	if tailVictim {
+		t.touchPos(ob, t.assoc-1, victim-base)
+	} else {
+		t.touchWay(set, victim-base)
+	}
+	return evicted, wasEvicted, inPlace
+}
+
 // Invalidate removes vpn if present (a TLB shootdown), reporting whether an
-// entry was dropped.
+// entry was dropped. The way stays in its set's recency vector; replacement
+// prefers invalid ways by index before consulting the list tail, matching
+// the stamp scheme's victim order.
 func (t *TLB) Invalidate(vpn uint64) bool {
 	if t == nil {
 		return false
 	}
+	if t.filt != nil && t.filt[vpn&t.filtMask] == 0 {
+		return false
+	}
 	set := vpn & t.setMask
 	base := int(set) * t.assoc
-	for i := 0; i < t.assoc; i++ {
-		w := &t.ways[base+i]
-		if w.valid && w.vpn == vpn {
-			w.valid = false
+	for i := base; i < base+t.assoc; i++ {
+		if t.vpns[i] == vpn && t.meta[i]&metaValid != 0 {
+			t.meta[i] = 0
+			t.live[set]--
+			if t.filt != nil {
+				t.filt[vpn&t.filtMask]--
+			}
 			return true
 		}
 	}
@@ -183,12 +424,17 @@ func (t *TLB) Flush() {
 	if t == nil {
 		return
 	}
-	for i := range t.ways {
-		t.ways[i] = way{}
+	for i := range t.vpns {
+		t.vpns[i] = 0
+		t.meta[i] = 0
 	}
-	for i := range t.mruIndex {
-		t.mruIndex[i] = 0
+	for i := range t.live {
+		t.live[i] = 0
 	}
+	for i := range t.filt {
+		t.filt[i] = 0
+	}
+	t.resetOrder()
 }
 
 // Stats returns lifetime hit/miss counts.
@@ -206,9 +452,9 @@ func (t *TLB) Visit(f func(Entry)) {
 	if t == nil {
 		return
 	}
-	for i := range t.ways {
-		if t.ways[i].valid {
-			f(Entry{VPN: t.ways[i].vpn, Writable: t.ways[i].writable})
+	for i := range t.vpns {
+		if t.meta[i]&metaValid != 0 {
+			f(Entry{VPN: t.vpns[i], Writable: t.meta[i]&metaWritable != 0})
 		}
 	}
 }
@@ -219,10 +465,8 @@ func (t *TLB) Live() int {
 		return 0
 	}
 	n := 0
-	for i := range t.ways {
-		if t.ways[i].valid {
-			n++
-		}
+	for i := range t.live {
+		n += int(t.live[i])
 	}
 	return n
 }
