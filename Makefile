@@ -72,6 +72,7 @@ fuzz:
 	$(GO) test -fuzz FuzzAllocator -fuzztime 30s ./internal/scash/
 	$(GO) test -fuzz FuzzGatherRange -fuzztime 30s ./internal/machine/
 	$(GO) test -fuzz FuzzCounters -fuzztime 30s ./internal/check/
+	$(GO) test -fuzz FuzzForkEquivalence -fuzztime 30s ./internal/machine/
 
 clean:
 	$(GO) clean ./...

@@ -24,6 +24,7 @@ import (
 	"hugeomp/internal/core"
 	"hugeomp/internal/faultinject"
 	"hugeomp/internal/machine"
+	"hugeomp/internal/memo"
 	"hugeomp/internal/npb"
 	"hugeomp/internal/par"
 	"hugeomp/internal/stats"
@@ -142,6 +143,27 @@ func main() {
 	// the cycle counts the degradation report compares against. Keyed by
 	// thread count too — reduction combine order (CG, MG, FT) is part of the
 	// numerics, and transparent-policy campaigns run single-threaded.
+	//
+	// The baselines don't cold-construct per config: one warmed snapshot per
+	// kernel is forked for every thread count (threads are a fork-time
+	// parameter), and each baseline's result + checksum is memoized under the
+	// canonical hash of its config, so nothing downstream ever re-simulates a
+	// fault-free reference.
+	type baseline struct {
+		Res npb.Result
+		Sum float64
+	}
+	cache := memo.New()
+	warm4K := make(map[string]*npb.Warm, len(names))
+	for _, name := range names {
+		w, err := npb.NewWarm(name, npb.RunConfig{
+			Model: model, Threads: *threads, Policy: core.Policy4K, Class: class,
+		})
+		if err != nil {
+			log.Fatalf("baseline template %s: %v", name, err)
+		}
+		warm4K[name] = w
+	}
 	type baseKey struct {
 		kernel  string
 		threads int
@@ -154,18 +176,22 @@ func main() {
 			if _, ok := baseSum[key]; ok {
 				continue
 			}
-			k, err := npb.New(name)
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := npb.Run(k, npb.RunConfig{
+			cfg := npb.RunConfig{
 				Model: model, Threads: th, Policy: core.Policy4K, Class: class,
-			})
-			if err != nil {
+			}
+			var b baseline
+			if _, err := cache.GetOrCompute(memo.MustKey("baseline", name, cfg),
+				func() (any, error) {
+					res, sum, err := warm4K[name].RunChecksum(cfg)
+					if err != nil {
+						return nil, err
+					}
+					return baseline{Res: res, Sum: sum}, nil
+				}, &b); err != nil {
 				log.Fatalf("baseline %s: %v", name, err)
 			}
-			baseSum[key] = npb.Checksum(k)
-			baseRes[key] = res
+			baseSum[key] = b.Sum
+			baseRes[key] = b.Res
 		}
 	}
 
@@ -255,29 +281,53 @@ func main() {
 		faultedRuns, len(outcomes), degradedRuns)
 
 	// Degradation report: healthy 2 MB backing vs. the forced 4 KB fallback.
+	// The healthy rows fork a warmed 2 MB snapshot per kernel (and memoize);
+	// the empty-pool rows must construct cold — the fallback they measure
+	// happens during construction.
 	fmt.Println("\ndegradation report (2MB pool vs vm.nr_hugepages=0, same binary, same numerics):")
 	fmt.Printf("  %-3s %14s %14s %10s %10s %10s\n", "app", "walks(2M)", "walks(0)", "walks", "busy", "fallback")
 	for _, name := range names {
+		w2M, err := npb.NewWarm(name, npb.RunConfig{
+			Model: model, Threads: *threads, Policy: core.Policy2M, Class: class,
+		})
+		if err != nil {
+			log.Fatalf("degradation template %s: %v", name, err)
+		}
 		healthy, degraded := npb.Result{}, npb.Result{}
 		for _, hp := range []int{0, core.NoHugePages} {
-			k, err := npb.New(name)
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := npb.Run(k, npb.RunConfig{
+			cfg := npb.RunConfig{
 				Model: model, Threads: *threads, Policy: core.Policy2M,
 				Class: class, HugePages: hp,
-			})
-			if err != nil {
+			}
+			var b baseline
+			if _, err := cache.GetOrCompute(memo.MustKey("degradation", name, cfg),
+				func() (any, error) {
+					if hp == 0 {
+						res, sum, err := w2M.RunChecksum(cfg)
+						if err != nil {
+							return nil, err
+						}
+						return baseline{Res: res, Sum: sum}, nil
+					}
+					k, err := npb.New(name)
+					if err != nil {
+						return nil, err
+					}
+					res, err := npb.Run(k, cfg)
+					if err != nil {
+						return nil, err
+					}
+					return baseline{Res: res, Sum: npb.Checksum(k)}, nil
+				}, &b); err != nil {
 				log.Fatalf("degradation report %s: %v", name, err)
 			}
-			if npb.Checksum(k) != baseSum[baseKey{name, *threads}] {
+			if b.Sum != baseSum[baseKey{name, *threads}] {
 				log.Fatalf("degradation report %s: numerics changed", name)
 			}
 			if hp == 0 {
-				healthy = res
+				healthy = b.Res
 			} else {
-				degraded = res
+				degraded = b.Res
 			}
 		}
 		if !degraded.Degraded || healthy.Degraded {
@@ -290,5 +340,7 @@ func main() {
 			stats.FormatFactor(stats.Factor(healthy.Counters.Busy, degraded.Counters.Busy)),
 			degraded.OS.HugePageFallbacks)
 	}
+	hits, misses := cache.Stats()
+	fmt.Printf("\nmemo: %d reference simulations, %d reuses served from cache\n", misses, hits)
 	os.Exit(0)
 }

@@ -2,8 +2,11 @@
 // (no wall clocks, no global rand, no order-sensitive map iteration in
 // simulator packages), lockdiscipline (bus-shard/cache lock ordering, no
 // locks held across bus traffic, no defer-unlock on hot paths), atomicfield
-// (//simlint:atomic fields only touched through sync/atomic) and padding
-// (//simlint:padded layout and //simlint:writer false-sharing checks).
+// (//simlint:atomic fields only touched through sync/atomic), cowshared
+// (//simlint:cowshared snapshot-shared arrays only written inside
+// //simlint:cowbarrier functions — the copy-on-write write barrier) and
+// padding (//simlint:padded layout and //simlint:writer false-sharing
+// checks).
 //
 // Two modes share one engine:
 //

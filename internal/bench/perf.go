@@ -6,10 +6,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"hugeomp/internal/core"
 	"hugeomp/internal/machine"
+	"hugeomp/internal/memo"
 	"hugeomp/internal/npb"
 	"hugeomp/internal/stats"
 	"hugeomp/internal/units"
@@ -70,6 +72,10 @@ type SimPerf struct {
 	// HostProcs is runtime.NumCPU() at measurement time: the physical limit
 	// every capped multicore row ran against.
 	HostProcs int `json:"host_procs"`
+	// SnapshotFork compares a repeated 16-config sweep cold-constructed per
+	// cell against the warm snapshot-fork + result-memo path the sweep
+	// driver uses.
+	SnapshotFork SnapshotForkPerf `json:"snapshot_fork"`
 	// Multicore is the CG multi-core scaling section: the class-W region
 	// simulation swept over 1/2/4/8 simulated threads with GOMAXPROCS set
 	// to min(threads, host procs), demonstrating that N simulated threads
@@ -80,6 +86,27 @@ type SimPerf struct {
 	Multicore []MulticorePoint `json:"multicore_cg"`
 	// MulticoreMG is the same sweep over the MG kernel.
 	MulticoreMG []MulticorePoint `json:"multicore_mg"`
+}
+
+// SnapshotForkPerf is the snapshot/fork + memoization section: the same
+// 16-cell CG sweep (4 unique page-walk costs × 4 repeats) run twice — once
+// constructing every system cold, once forking a single warmed snapshot and
+// deduping repeated configs through the result memo cache.
+type SnapshotForkPerf struct {
+	// Configs is the total grid size; UniqueConfigs of them are distinct, so
+	// the fork+memo path simulates UniqueConfigs cells and serves the rest
+	// from the cache.
+	Configs       int `json:"configs"`
+	UniqueConfigs int `json:"unique_configs"`
+	// ColdSeconds constructs system + kernel from scratch for every cell.
+	ColdSeconds float64 `json:"cold_seconds"`
+	// ForkSeconds builds one warm template, then forks per unique cell —
+	// template construction is included, so the ratio is end-to-end.
+	ForkSeconds float64 `json:"fork_memo_seconds"`
+	// SpeedupX is ColdSeconds / ForkSeconds (guarded >= 3x by make bench).
+	SpeedupX   float64 `json:"speedup_x"`
+	MemoHits   uint64  `json:"memo_hits"`
+	MemoMisses uint64  `json:"memo_misses"`
 }
 
 // MulticorePoint is one simulated-thread count of a multi-core scaling
@@ -102,15 +129,36 @@ type MulticorePoint struct {
 	Efficiency float64 `json:"efficiency"`
 }
 
+// perfSnap is the shared warmed snapshot behind every measurement section
+// that uses the canonical perf machine (Opteron 270, 4 KB policy, 64 MB
+// space): the system is constructed once, lazily, and each section forks it
+// instead of re-running the address-space construction. The array each
+// section needs is allocated on its private fork, so sections never see each
+// other's mappings — and a forked system behaves bit-identically to a
+// cold-built one (the warm_test equivalence suite pins this).
+var (
+	perfSnapOnce sync.Once
+	perfSnap     *core.Snapshot
+	perfSnapErr  error
+)
+
 func perfSystem(elems int) (*core.System, *machine.Context, *core.Array, error) {
-	sys, err := core.NewSystem(core.Config{
-		Model:       machine.Opteron270(),
-		Policy:      core.Policy4K,
-		SharedBytes: 64 * units.MB,
+	perfSnapOnce.Do(func() {
+		sys, err := core.NewSystem(core.Config{
+			Model:       machine.Opteron270(),
+			Policy:      core.Policy4K,
+			SharedBytes: 64 * units.MB,
+		})
+		if err != nil {
+			perfSnapErr = err
+			return
+		}
+		perfSnap = sys.Snapshot()
 	})
-	if err != nil {
-		return nil, nil, nil, err
+	if perfSnapErr != nil {
+		return nil, nil, nil, perfSnapErr
 	}
+	sys := perfSnap.Fork()
 	arr, err := sys.NewArray("perf", elems)
 	if err != nil {
 		return nil, nil, nil, err
@@ -255,6 +303,64 @@ func measureSingleAddr() (float64, error) {
 	}), nil
 }
 
+// snapshotForkConfig builds cell configs of the snapshot-fork sweep: CG at
+// class T, 2 threads, with the page-walk cost as the swept parameter.
+func snapshotForkConfig(walkRefCyc uint64) npb.RunConfig {
+	m := machine.Opteron270()
+	m.Costs.WalkRefCyc = walkRefCyc
+	return npb.RunConfig{
+		Model: m, Threads: 2, Policy: core.Policy4K, Class: npb.ClassT,
+	}
+}
+
+// measureSnapshotFork times the 16-cell repeated sweep both ways. The grid
+// repeats each unique walk cost 4 times — the shape of a sweep whose outer
+// product revisits grid points — so the fork+memo path pays one warm
+// construction plus one forked run per unique cost and serves 12 of the 16
+// cells from the memo cache.
+func measureSnapshotFork() (SnapshotForkPerf, error) {
+	walks := []uint64{10, 25, 50, 100}
+	const repeats = 4
+	sf := SnapshotForkPerf{Configs: len(walks) * repeats, UniqueConfigs: len(walks)}
+
+	start := time.Now()
+	for r := 0; r < repeats; r++ {
+		for _, wv := range walks {
+			k, err := npb.New("CG")
+			if err != nil {
+				return sf, err
+			}
+			if _, err := npb.Run(k, snapshotForkConfig(wv)); err != nil {
+				return sf, err
+			}
+		}
+	}
+	sf.ColdSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	warm, err := npb.NewWarm("CG", snapshotForkConfig(walks[0]))
+	if err != nil {
+		return sf, err
+	}
+	cache := memo.New()
+	for r := 0; r < repeats; r++ {
+		for _, wv := range walks {
+			cfg := snapshotForkConfig(wv)
+			var res npb.Result
+			if _, err := cache.GetOrCompute(memo.MustKey("CG", cfg),
+				func() (any, error) { return warm.Run(cfg) }, &res); err != nil {
+				return sf, err
+			}
+		}
+	}
+	sf.ForkSeconds = time.Since(start).Seconds()
+	sf.MemoHits, sf.MemoMisses = cache.Stats()
+	if sf.ForkSeconds > 0 {
+		sf.SpeedupX = sf.ColdSeconds / sf.ForkSeconds
+	}
+	return sf, nil
+}
+
 // multicoreModel returns the simulated machine for a team of `threads`: the
 // paper's Opteron 270 with coherence enabled — so the sweep exercises the
 // sharded snoop bus and the private-line fast path under real host
@@ -385,6 +491,10 @@ func MeasureSimPerf(class npb.Class, apps []string) (SimPerf, error) {
 		p.GatherSpeedup = p.GatherScalarNs / p.GatherNs
 	}
 
+	if p.SnapshotFork, err = measureSnapshotFork(); err != nil {
+		return p, err
+	}
+
 	if p.Multicore, err = measureMulticore(func() npb.Kernel { return npb.NewCG() }, npb.ClassW, multicoreThreads); err != nil {
 		return p, err
 	}
@@ -430,6 +540,13 @@ const minCGSpeedup4 = 1.5
 // don't produce false alarms; the relative 2x guard always applies.
 const maxRandomNs = 200
 
+// minSnapshotForkSpeedup is the floor RegressionCheck enforces on the
+// fork+memo sweep: the 16-cell repeated sweep must run at least this much
+// faster through the warm snapshot + memo path than cold-constructing every
+// cell. A slide below it means the fork stopped being O(metadata) (e.g. a
+// fork method started deep-copying page frames) or the memo stopped hitting.
+const minSnapshotForkSpeedup = 3.0
+
 // RegressionCheck re-measures the dense and gather fast paths and compares
 // them against the committed baseline at path, returning an error if either
 // regressed more than 2x. On hosts with at least 4 procs it also re-runs the
@@ -470,6 +587,20 @@ func RegressionCheck(path string) (string, error) {
 			"bench: committed random access above absolute ceiling: %.2f ns/access > %d ns on a %d-proc host (scalar fast path stopped firing?)",
 			random, maxRandomNs, host)
 	}
+	sf, err := measureSnapshotFork()
+	if err != nil {
+		return report, err
+	}
+	report += fmt.Sprintf(", snapshot-fork sweep %.1fx vs cold (floor %.1fx, %d/%d memo hits)",
+		sf.SpeedupX, minSnapshotForkSpeedup, sf.MemoHits, uint64(sf.Configs))
+	if sf.SpeedupX < minSnapshotForkSpeedup {
+		return report, fmt.Errorf(
+			"bench: snapshot-fork sweep speedup %.2fx < %.1fx floor (fork no longer O(metadata), or memo misses)",
+			sf.SpeedupX, minSnapshotForkSpeedup)
+	}
+	if want := uint64(sf.Configs - sf.UniqueConfigs); sf.MemoHits != want {
+		return report, fmt.Errorf("bench: memo served %d hits on the repeated sweep, want %d", sf.MemoHits, want)
+	}
 	if host := runtime.NumCPU(); host >= 4 {
 		pts, err := measureMulticore(func() npb.Kernel { return npb.NewCG() }, npb.ClassW, []int{1, 4})
 		if err != nil {
@@ -508,6 +639,12 @@ func FormatSimPerf(p SimPerf) string {
 		// with host core speed, not core count — trajectories are only
 		// comparable between like hosts, so record what this one was.
 		s += fmt.Sprintf("; random/single-addr rows measured single-threaded on a %d-proc host", p.HostProcs)
+	}
+	if p.SnapshotFork.Configs > 0 {
+		s += fmt.Sprintf("; snapshot-fork sweep: %d cells (%d unique) cold %.2fs vs fork+memo %.2fs (%.1fx, %d memo hits)",
+			p.SnapshotFork.Configs, p.SnapshotFork.UniqueConfigs,
+			p.SnapshotFork.ColdSeconds, p.SnapshotFork.ForkSeconds,
+			p.SnapshotFork.SpeedupX, p.SnapshotFork.MemoHits)
 	}
 	s += formatMulticore("CG", p.Multicore)
 	s += formatMulticore("MG", p.MulticoreMG)

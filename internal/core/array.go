@@ -89,6 +89,18 @@ func (a *Array) Scatter(c *machine.Context, idx []int64) {
 	c.ScatterRange(a.Base, 8, idx)
 }
 
+// Fork returns a privately writable copy of the array for a forked run: the
+// simulated placement (Name, Base) is preserved and Data is deep-copied.
+// Arrays a kernel only reads during Run don't need forking — forked runs
+// share them read-only (the copy-on-write discipline of the snapshot layer:
+// static inputs alias, mutable state privatizes).
+func (a *Array) Fork() *Array {
+	if a == nil {
+		return nil
+	}
+	return &Array{Name: a.Name, Base: a.Base, Data: append([]float64(nil), a.Data...)}
+}
+
 // Ints is a shared global array of int64 (index arrays of the CG kernel).
 type Ints struct {
 	Name string
@@ -135,4 +147,12 @@ func (a *Ints) Store(c *machine.Context, i int, v int64) {
 // LoadRange simulates reading elements [lo, hi) sequentially.
 func (a *Ints) LoadRange(c *machine.Context, lo, hi int) {
 	c.AccessRange(a.Addr(lo), hi-lo, 8, false)
+}
+
+// Fork returns a privately writable copy (see Array.Fork).
+func (a *Ints) Fork() *Ints {
+	if a == nil {
+		return nil
+	}
+	return &Ints{Name: a.Name, Base: a.Base, Data: append([]int64(nil), a.Data...)}
 }

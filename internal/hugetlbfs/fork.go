@@ -1,0 +1,33 @@
+package hugetlbfs
+
+import "hugeomp/internal/mem"
+
+// Fork returns an independent copy of the mount over phys, the forked
+// physical memory that owns the same frame numbers the parent's pool and
+// files refer to. File contents (frame lists) and the free pool are cloned;
+// the mapped guard is carried over so a forked file cannot be double-mapped
+// any more than the original could. The fault plan is NOT inherited: plans
+// carry occurrence counters, so each run arms its own plan (SetFaultPlan)
+// to keep forked runs bit-identical to cold ones.
+func (fs *FS) Fork(phys *mem.PhysMem) *FS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	nfs := &FS{
+		phys:  phys,
+		mode:  fs.mode,
+		quota: fs.quota,
+		used:  fs.used,
+		files: make(map[string]*File, len(fs.files)),
+	}
+	if fs.pool != nil {
+		nfs.pool = append([]uint64(nil), fs.pool...)
+	}
+	for name, f := range fs.files {
+		nf := &File{fs: nfs, name: f.name, mapped: f.mapped}
+		if f.frames != nil {
+			nf.frames = append([]uint64(nil), f.frames...)
+		}
+		nfs.files[name] = nf
+	}
+	return nfs
+}

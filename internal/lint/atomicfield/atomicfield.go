@@ -98,11 +98,13 @@ func allowed(pass *analysis.Pass, stack []ast.Node) bool {
 
 	// Struct-literal key: `cacheFields{states: ...}`. The key ident of a
 	// KeyValueExpr resolves to the field object, and its parent chain is
-	// CompositeLit → KeyValueExpr. (A SelectorExpr never is a literal key,
-	// so this arm only matters for the Ident fallback — kept for clarity.)
-	if _, ok := parent(1).(*ast.KeyValueExpr); ok {
+	// CompositeLit → KeyValueExpr. Only the key position is sanctioned: the
+	// value side of `other{f: src.state}` is a plain read like any other.
+	// (A SelectorExpr never is a literal key, so the key arm only matters
+	// for the Ident fallback — kept for clarity.)
+	if kv, ok := parent(1).(*ast.KeyValueExpr); ok {
 		if _, ok := parent(2).(*ast.CompositeLit); ok {
-			return true
+			return kv.Key == stack[i]
 		}
 	}
 

@@ -77,3 +77,22 @@ func rangeValues(t *table) uint32 {
 func escape(l *line, f func(*uint32)) {
 	f(&l.state) // want `plain access to state`
 }
+
+// The snapshot layer's forked-counter shape: a fork must copy a peer's
+// atomic words via Load/Store pairs (bus shard generations, shootdown
+// flags), never by plain assignment — a struct copy of the containing
+// value would smuggle the word across without a fence.
+type forkedFlag struct {
+	armed uint64 //simlint:atomic
+	owner int
+}
+
+func forkFlag(src *forkedFlag) *forkedFlag {
+	dst := &forkedFlag{owner: src.owner}
+	atomic.StoreUint64(&dst.armed, atomic.LoadUint64(&src.armed))
+	return dst
+}
+
+func forkFlagPlain(src *forkedFlag) *forkedFlag {
+	return &forkedFlag{armed: src.armed, owner: src.owner} // want `plain access to armed`
+}

@@ -1,0 +1,12 @@
+package cowshared_test
+
+import (
+	"testing"
+
+	"hugeomp/internal/lint/analysistest"
+	"hugeomp/internal/lint/cowshared"
+)
+
+func TestCowShared(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), cowshared.Analyzer, "a")
+}

@@ -1,0 +1,127 @@
+// Corpus for the cowshared analyzer: the annotated frame pointer mirrors
+// the page table's COW-aliased PTE frames.
+package a
+
+const frameLen = 512
+
+type pte struct {
+	present bool
+	pfn     uint64
+}
+
+type entry struct {
+	pfn uint64
+	//simlint:cowshared
+	ptes   *[frameLen]pte
+	used   int
+	shared bool
+}
+
+type table struct {
+	slots []*entry
+}
+
+// ensureOwned is the write barrier: cloning into the writer is its job, so
+// it may touch the shared frame freely.
+//
+//simlint:cowbarrier
+func (t *table) ensureOwned(gi int, e *entry) *entry {
+	if !e.shared {
+		return e
+	}
+	ne := &entry{pfn: e.pfn, used: e.used}
+	if e.ptes != nil {
+		ne.ptes = new([frameLen]pte)
+		*ne.ptes = *e.ptes
+	}
+	t.slots[gi] = ne
+	return ne
+}
+
+// writePTE is the sanctioned single write point.
+//
+//simlint:cowbarrier
+func (t *table) writePTE(e *entry, pi int, p pte) {
+	if e.shared {
+		panic("write to shared frame")
+	}
+	e.ptes[pi] = p
+}
+
+// Function literals inside a barrier inherit its license.
+//
+//simlint:cowbarrier
+func (t *table) writeAll(e *entry, p pte) {
+	each := func(pi int) { e.ptes[pi] = p }
+	for pi := range e.ptes {
+		each(pi)
+	}
+}
+
+// Reads are unrestricted: read-sharing is the point.
+func reads(e *entry) (pte, int) {
+	p := e.ptes[3]
+	n := 0
+	if e.ptes != nil {
+		n = len(e.ptes)
+	}
+	for _, q := range e.ptes {
+		if q.present {
+			n++
+		}
+	}
+	return p, n
+}
+
+// Keyed composite-literal initialisation builds a private value.
+func build() *entry {
+	return &entry{ptes: new([frameLen]pte)}
+}
+
+// Unannotated neighbours stay unrestricted.
+func neighbours(e *entry) {
+	e.pfn = 7
+	e.used++
+	e.shared = true
+}
+
+// The field used as an index (not as the indexed chain) is a read.
+func asIndex(e *entry, xs []int) int {
+	return xs[e.used]
+}
+
+// Writes outside the barrier are the bug class.
+func plainFieldWrite(e *entry) {
+	e.ptes = nil // want `write of ptes`
+}
+
+func plainElemWrite(e *entry, p pte) {
+	e.ptes[0] = p // want `write of ptes`
+}
+
+func plainDerefWrite(e *entry, f [frameLen]pte) {
+	*e.ptes = f // want `write of ptes`
+}
+
+func parenWrite(e *entry, p pte) {
+	(e.ptes)[1] = p // want `write of ptes`
+}
+
+// A member write through an element still mutates the shared frame.
+func fieldThroughElem(e *entry) {
+	e.ptes[2].pfn = 9 // want `write of ptes`
+}
+
+// A member read through an element is still a read.
+func memberRead(e *entry) uint64 {
+	return e.ptes[2].pfn
+}
+
+// Taking the address leaks a writable alias past the barrier.
+func escape(e *entry, f func(*pte)) {
+	f(&e.ptes[4]) // want `address escape of ptes`
+}
+
+func escapeField(e *entry) **[frameLen]pte {
+	return &e.ptes // want `address escape of ptes`
+}

@@ -13,6 +13,7 @@ import (
 
 	"hugeomp/internal/lint/analysis"
 	"hugeomp/internal/lint/atomicfield"
+	"hugeomp/internal/lint/cowshared"
 	"hugeomp/internal/lint/determinism"
 	"hugeomp/internal/lint/directive"
 	"hugeomp/internal/lint/lockdiscipline"
@@ -25,6 +26,7 @@ func Analyzers() []*analysis.Analyzer {
 		determinism.Analyzer,
 		lockdiscipline.Analyzer,
 		atomicfield.Analyzer,
+		cowshared.Analyzer,
 		padding.Analyzer,
 	}
 }

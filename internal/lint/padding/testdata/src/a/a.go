@@ -65,3 +65,26 @@ type anonWriter struct {
 	//simlint:writer
 	x uint64 // want `needs a writer name`
 }
+
+// The memo cache's hit/miss stats: two atomically bumped words padded out
+// to a full line so concurrent sweep workers never false-share with the
+// neighbouring map header (uint64 stands in for atomic.Uint64 — same
+// 8-byte layout, and the corpus imports only what it must).
+//
+//simlint:padded
+type memoStats struct {
+	hits   uint64
+	misses uint64
+	_      [48]byte
+}
+
+// A snapshot template: a frozen pointer guarded by a mutex-sized word. Its
+// natural size is 16 bytes — snapshot structs are cold (one per sweep, not
+// per cell), so padding them would be cargo cult; the corpus pins that the
+// analyzer still demands the annotation be honest if someone adds it.
+//
+//simlint:padded
+type snapshotLike struct { // want `16 bytes, not a positive multiple of 64`
+	mu     uint64
+	frozen *memoStats
+}

@@ -1,0 +1,183 @@
+package machine
+
+import (
+	"testing"
+
+	"hugeomp/internal/pagetable"
+	"hugeomp/internal/units"
+)
+
+// applyForkOp decodes and applies one fuzz op to world w through the
+// committed engines — the op set of FuzzScalarFastPath plus a page-fault op
+// that maps a fresh page after the fork point (so post-fork mutations travel
+// through the page table's COW write barrier). The return value is the
+// demote outcome (always true for other ops) so callers can require worlds
+// to stay in lockstep.
+func applyForkOp(t testing.TB, w fuzzWorld, op byte, a1, a2 int64) bool {
+	const span = 4 * units.MB
+	va := units.Addr((a1<<12 | a2<<5 | a1*13) % span)
+	switch op % 10 {
+	case 0:
+		w.c.Load(va)
+	case 1:
+		w.c.Store(va)
+	case 2, 3:
+		count := int(a1)%120 + 1
+		stride := a2%200 + 1
+		if int64(va)+int64(count)*stride >= span {
+			return true
+		}
+		w.c.AccessRange(va, count, stride, op%10 == 3)
+	case 4:
+		w.c.AccessRange(va, int(a1)%150+1, 0, a2&1 == 1)
+	case 5:
+		n := int(a1)%60 + 1
+		bound := (span - int64(va)) / 8
+		if bound <= 0 {
+			return true
+		}
+		idx := make([]int64, n)
+		for j := range idx {
+			idx[j] = (a2*31 + int64(j)*(a1+7)) % bound
+		}
+		w.c.GatherRange(va, 8, idx)
+	case 6:
+		page := va &^ units.Addr(units.PageSize4K-1)
+		size := units.Size4K
+		if a2&1 == 1 {
+			size = units.Size2M
+			page = va &^ units.Addr(units.Size2M.Bytes()-1)
+		}
+		w.c.InvalidatePage(page, size)
+	case 7:
+		w.c.FlushTLBs()
+	case 8:
+		return w.demoteChunk(t, int(a1)%2)
+	case 9:
+		// Page-fault analog: map a fresh 4KB page above the pre-mapped span
+		// and touch it. Every world maps the same (va, pfn), so a re-map of
+		// an already-faulted slot fails identically everywhere and the load
+		// still stays in lockstep.
+		pageVA := units.Addr(span) + units.Addr((a1&63)*units.PageSize4K)
+		pfn := uint64(2<<20) + uint64(int64(pageVA)/units.PageSize4K)
+		_ = w.pt.Map(pageVA, units.Size4K, pfn, pagetable.ProtRW)
+		w.c.Load(pageVA)
+	}
+	return true
+}
+
+// FuzzForkEquivalence is the correctness bar of the machine-level snapshot:
+// after any warmup prefix of random operations, a Snapshot+Fork of the warm
+// world must continue byte-identically — every counter after every op — to a
+// world that never forked, and the act of snapshotting must leave the parent
+// untouched. The op stream mixes scalar loads/stores, ranges, gathers,
+// shootdowns, full flushes, 2MB→4KB degradation and post-fork page faults.
+//
+// Byte 0 picks the page-size policy, byte 1 the fork point; each op is 3
+// bytes (op, a1, a2) as in FuzzScalarFastPath.
+func FuzzForkEquivalence(f *testing.F) {
+	f.Add([]byte{0, 2, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{1, 1, 8, 0, 0, 0, 30, 7, 2, 9, 3, 9, 40, 1})
+	f.Add([]byte{1, 0, 8, 1, 0, 5, 17, 80, 6, 4, 1, 7, 0, 0})
+	f.Add([]byte{0, 3, 9, 5, 0, 9, 5, 0, 3, 50, 50, 1, 255, 17, 8, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			t.Skip()
+		}
+		ps := units.Size4K
+		if data[0]&1 == 1 {
+			ps = units.Size2M
+		}
+		nops := (len(data) - 2) / 3
+		split := int(data[1]) % (nops + 1)
+
+		orig := mkFuzzWorld(t, ps) // parent: snapshotted mid-stream
+		ctrl := mkFuzzWorld(t, ps) // control: never forked
+		var forked fuzzWorld
+		haveFork := false
+
+		opIdx := 0
+		for i := 2; i+2 < len(data); i += 3 {
+			if opIdx == split && !haveFork {
+				fm, fpt := orig.c.machine.Snapshot().Fork()
+				forked = fuzzWorld{c: fm.Contexts()[0], pt: fpt}
+				haveFork = true
+				if forked.c.Ctr != ctrl.c.Ctr {
+					t.Fatalf("fork at op %d: counters differ at capture:\nforked: %+v\ncontrol: %+v",
+						opIdx, forked.c.Ctr, ctrl.c.Ctr)
+				}
+			}
+			op, a1, a2 := data[i], int64(data[i+1]), int64(data[i+2])
+			dc := applyForkOp(t, ctrl, op, a1, a2)
+			do := applyForkOp(t, orig, op, a1, a2)
+			if do != dc {
+				t.Fatalf("op %d: parent demote lockstep broken", opIdx)
+			}
+			if haveFork {
+				if df := applyForkOp(t, forked, op, a1, a2); df != dc {
+					t.Fatalf("op %d: forked demote lockstep broken", opIdx)
+				}
+				if forked.c.Ctr != ctrl.c.Ctr {
+					t.Fatalf("op %d (%d): forked run diverged from cold run:\nforked: %+v\ncontrol: %+v",
+						opIdx, op%10, forked.c.Ctr, ctrl.c.Ctr)
+				}
+			}
+			if orig.c.Ctr != ctrl.c.Ctr {
+				t.Fatalf("op %d (%d): snapshot perturbed the parent:\nparent: %+v\ncontrol: %+v",
+					opIdx, op%10, orig.c.Ctr, ctrl.c.Ctr)
+			}
+			opIdx++
+		}
+	})
+}
+
+// TestSnapshotForksIsolated: two forks of one snapshot never observe each
+// other's writes. Each fork runs a different op stream, interleaved with the
+// other's, and must stay byte-identical at every step to a control world
+// that ran the shared prefix plus only its own stream — any cross-fork leak
+// through the shared page table, TLBs, caches or bus would knock a fork off
+// its control.
+func TestSnapshotForksIsolated(t *testing.T) {
+	for _, ps := range []units.PageSize{units.Size4K, units.Size2M} {
+		t.Run(ps.String(), func(t *testing.T) {
+			parent := mkFuzzWorld(t, ps)
+			ctrlA := mkFuzzWorld(t, ps)
+			ctrlB := mkFuzzWorld(t, ps)
+
+			// Shared warmup prefix on the parent and both controls.
+			prefix := []byte{0, 3, 1, 2, 40, 9, 5, 17, 80, 0, 200, 7}
+			for i := 0; i+2 < len(prefix); i += 3 {
+				for _, w := range []fuzzWorld{parent, ctrlA, ctrlB} {
+					applyForkOp(t, w, prefix[i], int64(prefix[i+1]), int64(prefix[i+2]))
+				}
+			}
+
+			snap := parent.c.machine.Snapshot()
+			fmA, ptA := snap.Fork()
+			fmB, ptB := snap.Fork()
+			wa := fuzzWorld{c: fmA.Contexts()[0], pt: ptA}
+			wb := fuzzWorld{c: fmB.Contexts()[0], pt: ptB}
+
+			// Divergent streams. A degrades chunk 0 and stores through it; B
+			// gathers, faults in fresh pages and flushes — so if A's unmap or
+			// B's map leaked through the snapshot, the other fork's walk and
+			// miss counters would diverge from its control.
+			streamA := []byte{8, 0, 0, 1, 10, 3, 3, 60, 5, 6, 0, 1, 0, 10, 3}
+			streamB := []byte{5, 30, 9, 9, 7, 0, 7, 0, 0, 9, 8, 0, 5, 50, 3}
+			for i := 0; i+2 < len(streamA) && i+2 < len(streamB); i += 3 {
+				applyForkOp(t, wa, streamA[i], int64(streamA[i+1]), int64(streamA[i+2]))
+				applyForkOp(t, ctrlA, streamA[i], int64(streamA[i+1]), int64(streamA[i+2]))
+				applyForkOp(t, wb, streamB[i], int64(streamB[i+1]), int64(streamB[i+2]))
+				applyForkOp(t, ctrlB, streamB[i], int64(streamB[i+1]), int64(streamB[i+2]))
+				if wa.c.Ctr != ctrlA.c.Ctr {
+					t.Fatalf("op %d: fork A observed fork B's writes:\nfork A: %+v\ncontrol: %+v",
+						i/3, wa.c.Ctr, ctrlA.c.Ctr)
+				}
+				if wb.c.Ctr != ctrlB.c.Ctr {
+					t.Fatalf("op %d: fork B observed fork A's writes:\nfork B: %+v\ncontrol: %+v",
+						i/3, wb.c.Ctr, ctrlB.c.Ctr)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,26 @@
+package mem
+
+// Fork returns an independent copy of the allocator state. The clone sees
+// exactly the frames the parent had allocated and free at the instant of the
+// fork; subsequent Alloc/Free calls on either side do not affect the other.
+// Because allocation is a deterministic bump-plus-freelist discipline, a fork
+// that replays the same allocation sequence as a cold-built PhysMem receives
+// identical frame numbers — the property the snapshot/fork layer builds on.
+func (p *PhysMem) Fork() *PhysMem {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	np := &PhysMem{
+		totalBytes: p.totalBytes,
+		next4K:     p.next4K,
+		next2M:     p.next2M,
+		used4K:     p.used4K,
+		used2M:     p.used2M,
+	}
+	if p.free4K != nil {
+		np.free4K = append([]uint64(nil), p.free4K...)
+	}
+	if p.free2M != nil {
+		np.free2M = append([]uint64(nil), p.free2M...)
+	}
+	return np
+}

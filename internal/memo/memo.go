@@ -1,0 +1,128 @@
+// Package memo provides deterministic result memoization for the simulator:
+// a canonical content hash of (machine model, workload, params, seed, fault
+// plan) keys a content-addressed cache of simulation results. Because every
+// simulation is bit-deterministic, a cached result is indistinguishable from
+// a re-run — drivers that revisit a (config, seed) grid point get counters
+// back without simulating.
+//
+// Results are stored as their canonical JSON encoding (content-addressed
+// bytes), so a hit decodes into the caller's result type without retaining
+// any reference to the run that produced it, and any JSON-encodable result
+// type works.
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// KeyOf returns the canonical hash of the given parts: SHA-256 over their
+// JSON encodings in order. encoding/json writes struct fields in declared
+// order and sorts map keys, so two structurally equal values always produce
+// the same key. Parts that cannot be encoded (channels, funcs) are a caller
+// bug and return an error.
+func KeyOf(parts ...any) (string, error) {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for i, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			return "", fmt.Errorf("memo: key part %d: %w", i, err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// MustKey is KeyOf for parts known to encode (config structs, scalars).
+func MustKey(parts ...any) string {
+	k, err := KeyOf(parts...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// entry is one cached computation. once gives per-key single-flight: the
+// first caller computes, concurrent callers with the same key block on the
+// same once and then decode the stored bytes — so a sweep whose grid repeats
+// a (config, seed) point simulates it exactly once even under internal/par.
+type entry struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+// cacheStats counts hits and misses on a padded line so concurrent sweep
+// workers bumping them never false-share with the cache's map header
+// (layout checked by simlint's padding analyzer).
+//
+//simlint:padded
+type cacheStats struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	_      [48]byte
+}
+
+// Cache is a content-addressed result cache. The zero value is not usable;
+// call New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	stats   cacheStats
+}
+
+// New creates an empty cache.
+func New() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// GetOrCompute returns the result stored under key, computing and storing it
+// on first use. compute's result is encoded to canonical JSON at store time
+// and decoded into out (a non-nil pointer) on every return, hit or miss —
+// so callers always observe the round-tripped value and a hit can never leak
+// shared mutable state from the computing run. The returned bool reports
+// whether the result came from the cache (true) or compute ran (false).
+func (c *Cache) GetOrCompute(key string, compute func() (any, error), out any) (bool, error) {
+	c.mu.Lock()
+	e, hit := c.entries[key]
+	if !hit {
+		e = &entry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if hit {
+		c.stats.hits.Add(1)
+	} else {
+		c.stats.misses.Add(1)
+	}
+	e.once.Do(func() {
+		v, err := compute()
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.data, e.err = json.Marshal(v)
+	})
+	if e.err != nil {
+		return hit, e.err
+	}
+	if err := json.Unmarshal(e.data, out); err != nil {
+		return hit, fmt.Errorf("memo: decode %s: %w", key[:8], err)
+	}
+	return hit, nil
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.stats.hits.Load(), c.stats.misses.Load()
+}
+
+// Len returns the number of distinct keys stored (including in-flight ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

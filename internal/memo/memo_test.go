@@ -1,0 +1,153 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type cfg struct {
+	Model   string
+	Threads int
+	Costs   map[string]uint64
+}
+
+func TestKeyOfStability(t *testing.T) {
+	a := cfg{Model: "Opteron270", Threads: 4, Costs: map[string]uint64{"walk": 50, "mem": 120}}
+	b := cfg{Model: "Opteron270", Threads: 4, Costs: map[string]uint64{"mem": 120, "walk": 50}}
+	ka, err := KeyOf("sweep", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := KeyOf("sweep", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// encoding/json sorts map keys, so insertion order must not matter.
+	if ka != kb {
+		t.Errorf("structurally equal configs hashed differently: %s vs %s", ka, kb)
+	}
+	c := a
+	c.Threads = 8
+	if kc := MustKey("sweep", c); kc == ka {
+		t.Error("different configs collided")
+	}
+	if kp := MustKey("chaos", a); kp == ka {
+		t.Error("different prefixes collided")
+	}
+	if len(ka) != 64 {
+		t.Errorf("key length %d, want 64 hex chars", len(ka))
+	}
+}
+
+func TestKeyOfUnencodable(t *testing.T) {
+	if _, err := KeyOf(func() {}); err == nil {
+		t.Error("func value produced a key")
+	}
+}
+
+func TestGetOrComputeRoundTrip(t *testing.T) {
+	c := New()
+	type result struct {
+		Cycles uint64
+		Name   string
+	}
+	calls := 0
+	compute := func() (any, error) {
+		calls++
+		return result{Cycles: 1234, Name: "CG"}, nil
+	}
+	var r1, r2 result
+	hit, err := c.GetOrCompute("k", compute, &r1)
+	if err != nil || hit {
+		t.Fatalf("first call: hit=%v err=%v", hit, err)
+	}
+	hit, err = c.GetOrCompute("k", compute, &r2)
+	if err != nil || !hit {
+		t.Fatalf("second call: hit=%v err=%v", hit, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	if r1 != r2 || r1.Cycles != 1234 {
+		t.Errorf("round trip mismatch: %+v vs %+v", r1, r2)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestGetOrComputeHitDoesNotAlias(t *testing.T) {
+	c := New()
+	type result struct{ Xs []int }
+	var r1, r2 result
+	if _, err := c.GetOrCompute("k", func() (any, error) {
+		return result{Xs: []int{1, 2, 3}}, nil
+	}, &r1); err != nil {
+		t.Fatal(err)
+	}
+	r1.Xs[0] = 99 // mutating a returned result must not poison the cache
+	if _, err := c.GetOrCompute("k", func() (any, error) {
+		t.Fatal("compute re-ran on a hit")
+		return nil, nil
+	}, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Xs[0] != 1 {
+		t.Errorf("hit observed a caller's mutation: %v", r2.Xs)
+	}
+}
+
+func TestGetOrComputeError(t *testing.T) {
+	c := New()
+	want := errors.New("boom")
+	var out int
+	if _, err := c.GetOrCompute("k", func() (any, error) { return nil, want }, &out); !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	// Deterministic computations fail deterministically: the error is cached.
+	if _, err := c.GetOrCompute("k", func() (any, error) { return 7, nil }, &out); !errors.Is(err, want) {
+		t.Fatalf("cached err = %v, want %v", err, want)
+	}
+}
+
+// TestGetOrComputeSingleFlight: concurrent callers of one key run compute
+// exactly once and all decode the same stored bytes — a sweep whose grid
+// repeats a point simulates it once even under internal/par.
+func TestGetOrComputeSingleFlight(t *testing.T) {
+	c := New()
+	var calls atomic.Int64
+	const workers = 16
+	results := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var v uint64
+			if _, err := c.GetOrCompute("k", func() (any, error) {
+				calls.Add(1)
+				return uint64(42), nil
+			}, &v); err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times under contention, want 1", calls.Load())
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("worker %d decoded %d, want 42", i, v)
+		}
+	}
+	if hits, misses := c.Stats(); hits+misses != workers || misses < 1 {
+		t.Errorf("stats = (%d, %d), want %d total with >= 1 miss", hits, misses, workers)
+	}
+}

@@ -104,9 +104,16 @@ type pgdEntry struct {
 	// large mapping
 	pfn  uint64
 	prot Prot
-	// small mappings
-	ptes *[ptesPerFrame]pte
-	used int // live PTEs; the frame is freed when it reaches zero
+	// small mappings. After Fork the frame (and the entry itself) may be
+	// aliased by several tables; shared marks that state, and every mutation
+	// must first clone the entry into the writing table through ensureOwned,
+	// the copy-on-write barrier. simlint's cowshared analyzer enforces that
+	// writes to ptes happen only inside //simlint:cowbarrier functions.
+	//
+	//simlint:cowshared
+	ptes   *[ptesPerFrame]pte
+	used   int  // live PTEs; the frame is freed when it reaches zero
+	shared bool // entry is (or was) aliased by a forked table
 }
 
 type pte struct {
@@ -227,11 +234,12 @@ func (t *Table) mapAttempt(va units.Addr, size units.PageSize, pfn uint64, prot 
 	} else if e.large {
 		return fmt.Errorf("%w: 4KB inside 2MB at %#x", ErrOverlap, va)
 	}
-	p := &e.ptes[pteIndex(va)]
-	if p.present {
+	pi := pteIndex(va)
+	if e.ptes[pi].present {
 		return fmt.Errorf("%w: 4KB at %#x", ErrOverlap, va)
 	}
-	*p = pte{present: true, pfn: pfn, prot: prot}
+	e = t.ensureOwned(gi, e)
+	t.writePTE(e, pi, pte{present: true, pfn: pfn, prot: prot})
 	e.used++
 	t.mapped4K.Add(1)
 	t.gen.Add(1)
@@ -261,12 +269,14 @@ func (t *Table) Unmap(va units.Addr, size units.PageSize) (Entry, error) {
 	if e.large {
 		return Entry{}, fmt.Errorf("%w: 2MB mapping at %#x, not 4KB", ErrNotMapped, va)
 	}
-	p := &e.ptes[pteIndex(va)]
+	pi := pteIndex(va)
+	p := e.ptes[pi]
 	if !p.present {
 		return Entry{}, fmt.Errorf("%w: %#x", ErrNotMapped, va)
 	}
 	ent := Entry{PFN: p.pfn, Size: units.Size4K, Prot: p.prot}
-	*p = pte{}
+	e = t.ensureOwned(gi, e)
+	t.writePTE(e, pi, pte{})
 	e.used--
 	t.mapped4K.Add(-1)
 	t.gen.Add(1)
@@ -284,22 +294,97 @@ func (t *Table) Unmap(va units.Addr, size units.PageSize) (Entry, error) {
 func (t *Table) Protect(va units.Addr, prot Prot) (units.PageSize, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	e := t.entry(pgdIndex(va))
+	gi := pgdIndex(va)
+	e := t.entry(gi)
 	if e == nil {
 		return 0, fmt.Errorf("%w: %#x", ErrNotMapped, va)
 	}
 	if e.large {
+		e = t.ensureOwned(gi, e)
 		e.prot = prot
 		t.gen.Add(1)
 		return units.Size2M, nil
 	}
-	p := &e.ptes[pteIndex(va)]
+	pi := pteIndex(va)
+	p := e.ptes[pi]
 	if !p.present {
 		return 0, fmt.Errorf("%w: %#x", ErrNotMapped, va)
 	}
 	p.prot = prot
+	e = t.ensureOwned(gi, e)
+	t.writePTE(e, pi, p)
 	t.gen.Add(1)
 	return units.Size4K, nil
+}
+
+// ensureOwned returns a PGD entry the table may mutate: if e is aliased by a
+// forked table (shared), it clones the entry — including its PTE frame — and
+// installs the private copy at slot gi, leaving the shared original untouched
+// for the other tables. O(1) when the entry is already private, one 4 KB
+// frame copy on the first write after a fork. Caller holds t.mu.
+//
+//simlint:cowbarrier
+func (t *Table) ensureOwned(gi uint64, e *pgdEntry) *pgdEntry {
+	if !e.shared {
+		return e
+	}
+	ne := &pgdEntry{large: e.large, pfn: e.pfn, prot: e.prot, used: e.used}
+	if e.ptes != nil {
+		ne.ptes = new([ptesPerFrame]pte)
+		*ne.ptes = *e.ptes
+	}
+	t.setEntry(gi, ne)
+	return ne
+}
+
+// writePTE stores one PTE into an entry this table owns. It is the single
+// write point for the COW-shared ptes frames: callers must route the entry
+// through ensureOwned first — checked at run time by the shared panic and
+// statically by simlint's cowshared analyzer (writes to a //simlint:cowshared
+// field are legal only inside //simlint:cowbarrier functions).
+//
+//simlint:cowbarrier
+func (t *Table) writePTE(e *pgdEntry, pi uint64, p pte) {
+	if e.shared {
+		panic("pagetable: write to COW-shared PTE frame without ensureOwned")
+	}
+	e.ptes[pi] = p
+}
+
+// Fork returns a copy-on-write duplicate of the table: the fork observes
+// exactly the mappings, generation and counters of t at the time of the call,
+// but shares every PGD entry (and its 4 KB PTE frame) with t until one side
+// writes it, at which point the writer clones just that entry (ensureOwned).
+// Forking is O(PGD slots) — it copies pointer slices, never PTE frames — so
+// duplicating a fully mapped table costs metadata, not memory.
+//
+// The fault-injection plan is deliberately not inherited (plans carry
+// occurrence counters and must not be shared between runs); arm the fork with
+// SetFaultPlan if injection is wanted. The generation counter is preserved,
+// so translation caches stamped against t remain provably valid against the
+// fork.
+func (t *Table) Fork() *Table {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	nt := &Table{
+		pgdLow:  make([]*pgdEntry, lowPGDs),
+		pgdHigh: make(map[uint64]*pgdEntry, len(t.pgdHigh)),
+	}
+	for gi, e := range t.pgdLow {
+		if e != nil {
+			e.shared = true
+			nt.pgdLow[gi] = e
+		}
+	}
+	for gi, e := range t.pgdHigh {
+		e.shared = true
+		nt.pgdHigh[gi] = e
+	}
+	nt.gen.Store(t.gen.Load())
+	nt.mapped4K.Store(t.mapped4K.Load())
+	nt.mapped2M.Store(t.mapped2M.Load())
+	nt.mapRetries.Store(t.mapRetries.Load())
+	return nt
 }
 
 // Translate performs a page walk for va, ignoring protections. The returned
@@ -320,7 +405,7 @@ func (t *Table) Translate(va units.Addr) (WalkResult, error) {
 			Entry:   Entry{PFN: e.pfn, Size: units.Size2M, Prot: e.prot},
 		}, nil
 	}
-	p := &e.ptes[pteIndex(va)]
+	p := e.ptes[pteIndex(va)]
 	if !p.present {
 		return WalkResult{MemRefs: 2}, fmt.Errorf("%w: %#x", ErrNotMapped, va)
 	}

@@ -1,0 +1,13 @@
+package profile
+
+// Fork returns an independent sharded-counter set with every shard copied in
+// ascending shard order — the same deterministic order Total merges in — so
+// a forked run resumes from exactly the parent's per-thread counter state.
+// Call only at a quiescent point (writers joined).
+func (s *ShardedCounters) Fork() *ShardedCounters {
+	ns := NewShardedCounters(len(s.shards))
+	for i := range s.shards {
+		ns.shards[i].c = s.shards[i].c
+	}
+	return ns
+}

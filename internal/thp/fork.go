@@ -1,0 +1,33 @@
+package thp
+
+import (
+	"hugeomp/internal/mem"
+	"hugeomp/internal/pagetable"
+)
+
+// Fork returns an independent copy of the manager over the forked physical
+// memory and page table. Region descriptors and per-chunk population bitmaps
+// are deep-copied (chunks are value structs), and Stats carries over. The
+// shootdown hook and fault plan are NOT inherited: both are wired to the
+// parent world (the hook closes over the parent's contexts; plans carry
+// occurrence counters), so the forked system re-installs its own via
+// SetShootdown/SetFaultPlan before simulating.
+func (m *Manager) Fork(phys *mem.PhysMem, pt *pagetable.Table) *Manager {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nm := &Manager{
+		phys:      phys,
+		pt:        pt,
+		PromoteAt: m.PromoteAt,
+		Stats:     m.Stats,
+	}
+	nm.regions = make([]*region, len(m.regions))
+	for i, r := range m.regions {
+		nm.regions[i] = &region{
+			base:   r.base,
+			length: r.length,
+			chunks: append([]chunk(nil), r.chunks...),
+		}
+	}
+	return nm
+}

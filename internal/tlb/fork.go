@@ -1,0 +1,44 @@
+package tlb
+
+// Fork returns an independent deep copy of the TLB: resident entries,
+// recency permutation vectors, presence filter, and hit/miss counters.
+// Nil-safe, matching the nil-means-absent convention of New.
+func (t *TLB) Fork() *TLB {
+	if t == nil {
+		return nil
+	}
+	nt := &TLB{
+		vpns:     append([]uint64(nil), t.vpns...),
+		meta:     append([]uint8(nil), t.meta...),
+		order:    append([]uint64(nil), t.order...),
+		ow:       t.ow,
+		live:     append([]uint16(nil), t.live...),
+		filtMask: t.filtMask,
+		assoc:    t.assoc,
+		setMask:  t.setMask,
+		hits:     t.hits,
+		misses:   t.misses,
+	}
+	if t.filt != nil {
+		nt.filt = append([]uint16(nil), t.filt...)
+	}
+	return nt
+}
+
+// Fork returns an independent deep copy of the hierarchy, including the
+// per-size union presence filters, so a forked context resumes with exactly
+// the warmed translation state of the parent.
+func (h *Hierarchy) Fork() *Hierarchy {
+	nh := &Hierarchy{spec: h.spec}
+	for i := range h.l1 {
+		nh.l1[i] = h.l1[i].Fork()
+		nh.l2[i] = h.l2[i].Fork()
+	}
+	for i, f := range h.filt {
+		if f != nil {
+			nh.filt[i] = append([]uint16(nil), f...)
+		}
+		nh.filtMask[i] = h.filtMask[i]
+	}
+	return nh
+}
