@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint chaos race bench microbench simbench experiments examples fuzz clean
+.PHONY: all build test check lint chaos serve-soak simd-smoke race bench microbench simbench experiments examples fuzz clean
 
 all: build test check
 
@@ -36,6 +36,19 @@ check: lint
 # internal/check invariants, and replay to bit-identical counters.
 chaos:
 	$(GO) run ./cmd/chaos
+
+# Service-mode soak: seeded client misbehavior (disconnects, duplicates,
+# oversized bodies, injected panics, starved deadlines) against an
+# in-process simd server; every answer per config must be bit-identical
+# and the typed counters must conserve. See docs/ROBUSTNESS.md.
+serve-soak:
+	$(GO) run ./cmd/chaos -serve -plans 300
+
+# Short race-mode smoke over the simd service stack (the CI leg): the
+# full simsrv suite exercises cancellation, panic quarantine, admission
+# and single-flight under the race detector.
+simd-smoke:
+	$(GO) test -race -count=1 ./internal/simsrv/ ./internal/par/ ./internal/memo/
 
 race:
 	$(GO) test -race ./internal/omp/ ./internal/npb/ ./internal/machine/ ./internal/mpi/ ./internal/par/ ./internal/bench/

@@ -11,6 +11,7 @@
 //	chaos                    # 50 plans over CG, MG, SP at class T
 //	chaos -plans 200 -v      # longer soak, per-plan lines
 //	chaos -seed 7 -kernels CG
+//	chaos -serve -plans 300  # soak the simd service over HTTP instead
 package main
 
 import (
@@ -130,7 +131,15 @@ func main() {
 	threads := flag.Int("threads", 2, "threads for non-transparent campaigns")
 	seed := flag.Uint64("seed", 0x5eed, "base seed; plan i uses seed+i")
 	verbose := flag.Bool("v", false, "print one line per (plan, kernel) cell")
+	serve := flag.Bool("serve", false, "soak the simd HTTP service instead of the in-process simulator; -plans becomes the op count")
 	flag.Parse()
+
+	if *serve {
+		if err := serveSoak(*plans, *seed, *verbose); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	class, err := npb.ParseClass(*classFlag)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"hugeomp/internal/lint/directive"
 	"hugeomp/internal/lint/lockdiscipline"
 	"hugeomp/internal/lint/padding"
+	"hugeomp/internal/lint/panicboundary"
 )
 
 // Analyzers is the simlint suite, in reporting order.
@@ -28,6 +29,7 @@ func Analyzers() []*analysis.Analyzer {
 		atomicfield.Analyzer,
 		cowshared.Analyzer,
 		padding.Analyzer,
+		panicboundary.Analyzer,
 	}
 }
 

@@ -1,0 +1,154 @@
+// Package panicboundary enforces the service layer's panic-quarantine
+// contract: in a package that declares panic boundaries (one or more
+// functions annotated //simlint:panicboundary), every goroutine must start
+// inside one. A panic escaping a goroutine kills the whole process — for the
+// simulator service that means one poisoned session taking down every other
+// in-flight request — so goroutine entry points must install recover before
+// doing any work.
+//
+// The rule is opt-in per package: a package with no //simlint:panicboundary
+// annotation is out of scope (batch harnesses crash loudly by design; only
+// long-running services quarantine). In an opted-in package every `go`
+// statement must launch either
+//
+//   - a same-package function or method annotated //simlint:panicboundary, or
+//   - a function literal that installs recover in its leading defer prefix:
+//     one of the defers at the top of the body, before any other statement,
+//     is a literal calling recover() or a call to a same-package function
+//     whose body calls recover().
+//
+// Each annotated function is held to the same bar: its leading defer prefix
+// must install recover, otherwise the annotation is a lie. "Leading" is the
+// point — a defer placed after real work has begun leaves a window where a
+// panic escapes the boundary.
+//
+// A justified exception needs //simlint:ignore panicboundary <reason>.
+package panicboundary
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hugeomp/internal/lint/analysis"
+	"hugeomp/internal/lint/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "panicboundary",
+	Doc: "in packages declaring //simlint:panicboundary functions, every goroutine " +
+		"must start in one (or in a literal that installs recover in its leading defers)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := collectDecls(pass)
+	boundaries := map[types.Object]bool{}
+	for obj, fd := range decls {
+		if directive.Has(directive.Func(fd), "panicboundary") {
+			boundaries[obj] = true
+		}
+	}
+	if len(boundaries) == 0 {
+		return nil, nil // package has no boundaries: out of scope
+	}
+
+	// Every annotated function must really install recover up front.
+	for obj, fd := range decls {
+		if !boundaries[obj] || fd.Body == nil {
+			continue
+		}
+		if !installsRecover(pass, decls, fd.Body) {
+			pass.Reportf(fd.Name.Pos(),
+				"//simlint:panicboundary function %s does not install recover in its leading defers: "+
+					"the annotation promises a panic cannot escape this entry point", fd.Name.Name)
+		}
+	}
+
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			if !installsRecover(pass, decls, lit.Body) {
+				pass.Reportf(g.Pos(),
+					"goroutine starts outside a panic boundary: install recover in the literal's "+
+						"leading defers or launch a //simlint:panicboundary function "+
+						"(or justify with //simlint:ignore panicboundary <reason>)")
+			}
+			return
+		}
+		fn := analysis.Callee(pass.TypesInfo, g.Call)
+		if fn == nil || fn.Pkg() != pass.Pkg || !boundaries[fn] {
+			pass.Reportf(g.Pos(),
+				"goroutine starts outside a panic boundary: launch a //simlint:panicboundary "+
+					"function of this package "+
+					"(or justify with //simlint:ignore panicboundary <reason>)")
+		}
+	})
+	return nil, nil
+}
+
+// collectDecls maps every function/method object declared in the package to
+// its declaration.
+func collectDecls(pass *analysis.Pass) map[types.Object]*ast.FuncDecl {
+	out := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// installsRecover reports whether the body's leading defer prefix — the run
+// of DeferStmts before any other statement — installs a recover: a deferred
+// literal calling recover(), or a deferred call to a same-package function
+// whose body calls recover().
+func installsRecover(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		ds, ok := st.(*ast.DeferStmt)
+		if !ok {
+			return false // prefix over: recover installed too late or never
+		}
+		if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+			if callsRecover(pass, lit.Body) {
+				return true
+			}
+			continue
+		}
+		if fn := analysis.Callee(pass.TypesInfo, ds.Call); fn != nil && fn.Pkg() == pass.Pkg {
+			if fd := decls[fn]; fd != nil && fd.Body != nil && callsRecover(pass, fd.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether the node contains a call to the recover
+// builtin.
+func callsRecover(pass *analysis.Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,18 @@
+package panicboundary_test
+
+import (
+	"testing"
+
+	"hugeomp/internal/lint/analysistest"
+	"hugeomp/internal/lint/panicboundary"
+)
+
+func TestPanicBoundary(t *testing.T) {
+	// Corpus "a" declares boundaries: annotated entry points must really
+	// recover, and every goroutine must start inside one.
+	analysistest.Run(t, analysistest.TestData(), panicboundary.Analyzer, "a")
+
+	// Negative control: a package with goroutines but no annotations is out
+	// of scope and must produce no diagnostics.
+	analysistest.Run(t, analysistest.TestData(), panicboundary.Analyzer, "optout")
+}

@@ -1,0 +1,88 @@
+// Corpus for the panicboundary analyzer: the package declares boundaries,
+// so every goroutine must start in one.
+package a
+
+import "sync"
+
+// worker is a proper boundary: the leading defers include a call to a
+// same-package function whose body recovers.
+//
+//simlint:panicboundary
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer backstop()
+	work()
+}
+
+// backstop absorbs a session's panic.
+func backstop() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+// pool carries the method form of a boundary.
+type pool struct{ panics int }
+
+//simlint:panicboundary
+func (p *pool) run() {
+	defer p.absorb()
+	work()
+}
+
+func (p *pool) absorb() {
+	if recover() != nil {
+		p.panics++
+	}
+}
+
+// bad promises a boundary but never installs recover.
+//
+//simlint:panicboundary
+func bad() { // want `does not install recover`
+	work()
+}
+
+// lateRecover installs the backstop only after real work has begun: a panic
+// in the first call escapes, so the leading-prefix rule rejects it.
+//
+//simlint:panicboundary
+func lateRecover() { // want `does not install recover`
+	work()
+	defer backstop()
+}
+
+// nonRecoveringDefers has leading defers, none of which recover.
+//
+//simlint:panicboundary
+func nonRecoveringDefers(wg *sync.WaitGroup) { // want `does not install recover`
+	defer wg.Done()
+	work()
+}
+
+func work() {}
+
+func launch(p *pool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg) // boundary by annotation
+	go p.run()     // method boundary by annotation
+	go work()      // want `outside a panic boundary`
+	go func() {    // literal installing recover directly
+		defer func() { _ = recover() }()
+		work()
+	}()
+	go func() { // literal deferring a recovering same-package helper
+		defer backstop()
+		work()
+	}()
+	go func() { // want `outside a panic boundary`
+		work()
+	}()
+	go func() { // want `outside a panic boundary`
+		defer wg.Done() // leading defer, but nothing recovers
+		work()
+	}()
+	f := work
+	go f() // want `outside a panic boundary`
+}

@@ -1,0 +1,18 @@
+// A package with goroutines but no //simlint:panicboundary annotation: the
+// rule does not apply — batch harnesses crash loudly by design, and only
+// packages that declare boundaries are held to them.
+package optout
+
+import "sync"
+
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = i * i
+		}()
+	}
+	wg.Wait()
+}

@@ -10,13 +10,15 @@ import (
 // applyForkOp decodes and applies one fuzz op to world w through the
 // committed engines — the op set of FuzzScalarFastPath plus a page-fault op
 // that maps a fresh page after the fork point (so post-fork mutations travel
-// through the page table's COW write barrier). The return value is the
-// demote outcome (always true for other ops) so callers can require worlds
-// to stay in lockstep.
+// through the page table's COW write barrier) and an abort marker (op%11 ==
+// 10) that is a no-op here: abandoning a run touches no machine state, and
+// FuzzForkEquivalence decodes it at the driver level to abandon the fork
+// mid-stream. The return value is the demote outcome (always true for other
+// ops) so callers can require worlds to stay in lockstep.
 func applyForkOp(t testing.TB, w fuzzWorld, op byte, a1, a2 int64) bool {
 	const span = 4 * units.MB
 	va := units.Addr((a1<<12 | a2<<5 | a1*13) % span)
-	switch op % 10 {
+	switch op % 11 {
 	case 0:
 		w.c.Load(va)
 	case 1:
@@ -27,7 +29,7 @@ func applyForkOp(t testing.TB, w fuzzWorld, op byte, a1, a2 int64) bool {
 		if int64(va)+int64(count)*stride >= span {
 			return true
 		}
-		w.c.AccessRange(va, count, stride, op%10 == 3)
+		w.c.AccessRange(va, count, stride, op%11 == 3)
 	case 4:
 		w.c.AccessRange(va, int(a1)%150+1, 0, a2&1 == 1)
 	case 5:
@@ -62,6 +64,8 @@ func applyForkOp(t testing.TB, w fuzzWorld, op byte, a1, a2 int64) bool {
 		pfn := uint64(2<<20) + uint64(int64(pageVA)/units.PageSize4K)
 		_ = w.pt.Map(pageVA, units.Size4K, pfn, pagetable.ProtRW)
 		w.c.Load(pageVA)
+	case 10:
+		// Abort marker — no machine state changes; see FuzzForkEquivalence.
 	}
 	return true
 }
@@ -71,7 +75,13 @@ func applyForkOp(t testing.TB, w fuzzWorld, op byte, a1, a2 int64) bool {
 // world must continue byte-identically — every counter after every op — to a
 // world that never forked, and the act of snapshotting must leave the parent
 // untouched. The op stream mixes scalar loads/stores, ranges, gathers,
-// shootdowns, full flushes, 2MB→4KB degradation and post-fork page faults.
+// shootdowns, full flushes, 2MB→4KB degradation, post-fork page faults, and
+// an abort op (op%11 == 10): the first abort after the fork point abandons
+// the forked world mid-stream — exactly what a cancelled service request
+// does — then forks a *sibling* from the same snapshot, replays the
+// post-capture stream, and requires the sibling to land on the control's
+// counters byte-for-byte before continuing in lockstep. An abandoned fork
+// must never have leaked into the snapshot it came from.
 //
 // Byte 0 picks the page-size policy, byte 1 the fork point; each op is 3
 // bytes (op, a1, a2) as in FuzzScalarFastPath.
@@ -80,6 +90,7 @@ func FuzzForkEquivalence(f *testing.F) {
 	f.Add([]byte{1, 1, 8, 0, 0, 0, 30, 7, 2, 9, 3, 9, 40, 1})
 	f.Add([]byte{1, 0, 8, 1, 0, 5, 17, 80, 6, 4, 1, 7, 0, 0})
 	f.Add([]byte{0, 3, 9, 5, 0, 9, 5, 0, 3, 50, 50, 1, 255, 17, 8, 0, 0})
+	f.Add([]byte{1, 1, 0, 1, 2, 9, 3, 9, 10, 0, 0, 3, 60, 5, 8, 0, 0, 1, 10, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 5 {
 			t.Skip()
@@ -93,13 +104,17 @@ func FuzzForkEquivalence(f *testing.F) {
 
 		orig := mkFuzzWorld(t, ps) // parent: snapshotted mid-stream
 		ctrl := mkFuzzWorld(t, ps) // control: never forked
+		var snap *Snapshot
 		var forked fuzzWorld
 		haveFork := false
+		abortedOnce := false
+		var replay [][3]byte // ops applied to the fork since capture
 
 		opIdx := 0
 		for i := 2; i+2 < len(data); i += 3 {
 			if opIdx == split && !haveFork {
-				fm, fpt := orig.c.machine.Snapshot().Fork()
+				snap = orig.c.machine.Snapshot()
+				fm, fpt := snap.Fork()
 				forked = fuzzWorld{c: fm.Contexts()[0], pt: fpt}
 				haveFork = true
 				if forked.c.Ctr != ctrl.c.Ctr {
@@ -108,23 +123,45 @@ func FuzzForkEquivalence(f *testing.F) {
 				}
 			}
 			op, a1, a2 := data[i], int64(data[i+1]), int64(data[i+2])
+			if op%11 == 10 {
+				// Abort: abandon the fork exactly here, mid-stream, and prove
+				// the snapshot is unperturbed — a fresh sibling replaying the
+				// same post-capture stream must land on the control's
+				// counters. The sibling then takes over the lockstep.
+				if haveFork && !abortedOnce {
+					abortedOnce = true
+					fm, fpt := snap.Fork()
+					sib := fuzzWorld{c: fm.Contexts()[0], pt: fpt}
+					for _, r := range replay {
+						applyForkOp(t, sib, r[0], int64(r[1]), int64(r[2]))
+					}
+					if sib.c.Ctr != ctrl.c.Ctr {
+						t.Fatalf("abort at op %d: sibling fork replay diverged — the abandoned fork leaked into the snapshot:\nsibling: %+v\ncontrol: %+v",
+							opIdx, sib.c.Ctr, ctrl.c.Ctr)
+					}
+					forked = sib
+				}
+				opIdx++
+				continue // the abort marker mutates no world
+			}
 			dc := applyForkOp(t, ctrl, op, a1, a2)
 			do := applyForkOp(t, orig, op, a1, a2)
 			if do != dc {
 				t.Fatalf("op %d: parent demote lockstep broken", opIdx)
 			}
 			if haveFork {
+				replay = append(replay, [3]byte{op, byte(a1), byte(a2)})
 				if df := applyForkOp(t, forked, op, a1, a2); df != dc {
 					t.Fatalf("op %d: forked demote lockstep broken", opIdx)
 				}
 				if forked.c.Ctr != ctrl.c.Ctr {
 					t.Fatalf("op %d (%d): forked run diverged from cold run:\nforked: %+v\ncontrol: %+v",
-						opIdx, op%10, forked.c.Ctr, ctrl.c.Ctr)
+						opIdx, op%11, forked.c.Ctr, ctrl.c.Ctr)
 				}
 			}
 			if orig.c.Ctr != ctrl.c.Ctr {
 				t.Fatalf("op %d (%d): snapshot perturbed the parent:\nparent: %+v\ncontrol: %+v",
-					opIdx, op%10, orig.c.Ctr, ctrl.c.Ctr)
+					opIdx, op%11, orig.c.Ctr, ctrl.c.Ctr)
 			}
 			opIdx++
 		}

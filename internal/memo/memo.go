@@ -9,6 +9,12 @@
 // bytes), so a hit decodes into the caller's result type without retaining
 // any reference to the run that produced it, and any JSON-encodable result
 // type works.
+//
+// Only successful computations are memoized. A compute that returns an error
+// is reported to every caller collapsed onto it and then forgotten, so the
+// next request for the key retries: error values are not content-addressed
+// facts — a cancelled or deadline-expired run says something about the
+// request that carried it, not about the (config, seed) point.
 package memo
 
 import (
@@ -50,33 +56,52 @@ func MustKey(parts ...any) string {
 // same once and then decode the stored bytes — so a sweep whose grid repeats
 // a (config, seed) point simulates it exactly once even under internal/par.
 type entry struct {
+	key  string
 	once sync.Once
 	data []byte
 	err  error
 }
 
-// cacheStats counts hits and misses on a padded line so concurrent sweep
-// workers bumping them never false-share with the cache's map header
-// (layout checked by simlint's padding analyzer).
+// cacheStats counts hits, misses and evictions on a padded line so
+// concurrent sweep workers bumping them never false-share with the cache's
+// map header (layout checked by simlint's padding analyzer).
 //
 //simlint:padded
 type cacheStats struct {
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	_      [48]byte
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	_         [40]byte
 }
 
 // Cache is a content-addressed result cache. The zero value is not usable;
-// call New.
+// call New or NewBounded.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*entry
-	stats   cacheStats
+	mu       sync.Mutex
+	entries  map[string]*entry
+	order    []*entry // insertion order; only maintained when bounded
+	capacity int      // 0 = unbounded
+	stats    cacheStats
 }
 
-// New creates an empty cache.
+// New creates an empty, unbounded cache (batch drivers whose key space is the
+// finite experiment grid).
 func New() *Cache {
 	return &Cache{entries: make(map[string]*entry)}
+}
+
+// NewBounded creates a cache holding at most capacity entries. When an
+// insertion exceeds the capacity the oldest-inserted entry is evicted —
+// eviction order is the deterministic insertion order, never host-timing
+// access recency — so a long-lived service's memory stays bounded while the
+// set of survivors after any request sequence is a pure function of that
+// sequence. capacity <= 0 means unbounded.
+func NewBounded(capacity int) *Cache {
+	c := New()
+	if capacity > 0 {
+		c.capacity = capacity
+	}
+	return c
 }
 
 // GetOrCompute returns the result stored under key, computing and storing it
@@ -85,12 +110,20 @@ func New() *Cache {
 // so callers always observe the round-tripped value and a hit can never leak
 // shared mutable state from the computing run. The returned bool reports
 // whether the result came from the cache (true) or compute ran (false).
+//
+// If compute fails, every caller collapsed onto that flight observes its
+// error and the key is forgotten, so a later identical request retries
+// instead of replaying a stale failure.
 func (c *Cache) GetOrCompute(key string, compute func() (any, error), out any) (bool, error) {
 	c.mu.Lock()
 	e, hit := c.entries[key]
 	if !hit {
-		e = &entry{}
+		e = &entry{key: key}
 		c.entries[key] = e
+		if c.capacity > 0 {
+			c.order = append(c.order, e)
+			c.evictLocked()
+		}
 	}
 	c.mu.Unlock()
 	if hit {
@@ -107,6 +140,7 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, error), out any) (
 		e.data, e.err = json.Marshal(v)
 	})
 	if e.err != nil {
+		c.forget(e)
 		return hit, e.err
 	}
 	if err := json.Unmarshal(e.data, out); err != nil {
@@ -115,10 +149,51 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, error), out any) (
 	return hit, nil
 }
 
+// evictLocked trims the cache back to capacity, oldest insertion first. Order
+// slots whose entry was already forgotten (errored computes, explicit
+// Forget) are skipped without counting as evictions. Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	for len(c.entries) > c.capacity && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order[0] = nil
+		c.order = c.order[1:]
+		if c.entries[victim.key] == victim {
+			delete(c.entries, victim.key)
+			c.stats.evictions.Add(1)
+		}
+	}
+}
+
+// forget drops e if it is still the live entry for its key (a newer entry
+// for the same key is left alone). The order slot goes stale and is skipped
+// at eviction time.
+func (c *Cache) forget(e *entry) {
+	c.mu.Lock()
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+	}
+	c.mu.Unlock()
+}
+
+// Forget removes key from the cache if present, so the next GetOrCompute
+// recomputes it. In-flight computations for the key are unaffected: their
+// waiters still observe the flight's outcome.
+func (c *Cache) Forget(key string) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
 // Stats returns the lifetime hit and miss counts.
 func (c *Cache) Stats() (hits, misses uint64) {
 	return c.stats.hits.Load(), c.stats.misses.Load()
 }
+
+// Evictions returns the number of entries evicted by the capacity bound.
+func (c *Cache) Evictions() uint64 { return c.stats.evictions.Load() }
+
+// Capacity returns the configured bound (0 = unbounded).
+func (c *Cache) Capacity() int { return c.capacity }
 
 // Len returns the number of distinct keys stored (including in-flight ones).
 func (c *Cache) Len() int {

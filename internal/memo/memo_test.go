@@ -102,16 +102,104 @@ func TestGetOrComputeHitDoesNotAlias(t *testing.T) {
 	}
 }
 
-func TestGetOrComputeError(t *testing.T) {
+func TestGetOrComputeErrorNotMemoized(t *testing.T) {
 	c := New()
 	want := errors.New("boom")
 	var out int
 	if _, err := c.GetOrCompute("k", func() (any, error) { return nil, want }, &out); !errors.Is(err, want) {
 		t.Fatalf("err = %v, want %v", err, want)
 	}
-	// Deterministic computations fail deterministically: the error is cached.
-	if _, err := c.GetOrCompute("k", func() (any, error) { return 7, nil }, &out); !errors.Is(err, want) {
-		t.Fatalf("cached err = %v, want %v", err, want)
+	// Errors are not content-addressed facts (a cancelled run says nothing
+	// about the config): the key is forgotten and the next caller retries.
+	if c.Len() != 0 {
+		t.Fatalf("errored entry retained: len = %d, want 0", c.Len())
+	}
+	if _, err := c.GetOrCompute("k", func() (any, error) { return 7, nil }, &out); err != nil {
+		t.Fatalf("retry after error: %v", err)
+	}
+	if out != 7 {
+		t.Fatalf("retry decoded %d, want 7", out)
+	}
+}
+
+func TestForget(t *testing.T) {
+	c := New()
+	calls := 0
+	compute := func() (any, error) { calls++; return calls, nil }
+	var out int
+	for _, want := range []int{1, 1} {
+		if _, err := c.GetOrCompute("k", compute, &out); err != nil || out != want {
+			t.Fatalf("out = %d (err %v), want %d", out, err, want)
+		}
+	}
+	c.Forget("k")
+	if _, err := c.GetOrCompute("k", compute, &out); err != nil || out != 2 {
+		t.Fatalf("after Forget: out = %d (err %v), want recompute = 2", out, err)
+	}
+}
+
+// TestBoundedEviction: the capacity bound evicts in insertion order — the
+// deterministic order a replayed request sequence reproduces — and counts
+// every eviction.
+func TestBoundedEviction(t *testing.T) {
+	c := NewBounded(2)
+	var out string
+	get := func(key string) bool {
+		t.Helper()
+		hit, err := c.GetOrCompute(key, func() (any, error) { return key, nil }, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+	get("a")
+	get("b")
+	if !get("a") {
+		t.Error("a evicted while within capacity")
+	}
+	get("c") // exceeds capacity: evicts "a" (oldest inserted, even though just hit)
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	if got := c.Evictions(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if get("a") {
+		t.Error("a still cached after eviction")
+	}
+	// Reinserting "a" evicted "b"; "c" must survive both rounds.
+	if !get("c") {
+		t.Error("c evicted out of insertion order")
+	}
+	if c.Len() != 2 || c.Evictions() != 2 {
+		t.Errorf("len = %d evictions = %d, want 2 and 2", c.Len(), c.Evictions())
+	}
+}
+
+// TestBoundedEvictionSkipsForgotten: order slots whose entry errored (and was
+// dropped) or was explicitly forgotten are skipped without counting.
+func TestBoundedEvictionSkipsForgotten(t *testing.T) {
+	c := NewBounded(2)
+	var out int
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("err", func() (any, error) { return nil, boom }, &out); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	for i, key := range []string{"a", "b", "c"} {
+		if _, err := c.GetOrCompute(key, func() (any, error) { return i, nil }, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "err" was dropped on failure, so inserting c evicted a (the oldest
+	// live entry), not the stale slot.
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1 (stale slots must not count)", c.Evictions())
+	}
+	if hit, _ := c.GetOrCompute("b", func() (any, error) { return 9, nil }, &out); !hit {
+		t.Error("b evicted; the stale slot was charged against a live entry")
 	}
 }
 

@@ -236,11 +236,17 @@ func (k *BT) add(rt *omp.RT) {
 func (k *BT) Run(rt *omp.RT, iterations int) error {
 	const lam = 0.4
 	for it := 0; it < iterations; it++ {
+		if err := rt.Checkpoint(); err != nil {
+			return err
+		}
 		k.computeRHS(rt)
 		k.xSolve(rt, lam)
 		k.ySolve(rt, lam)
 		k.zSolve(rt, lam)
 		k.add(rt)
+	}
+	if err := rt.Checkpoint(); err != nil {
+		return err
 	}
 	k.checksum = rt.ParallelForReduce(k.codeAdd, 5*k.npts(), omp.For{Schedule: omp.Static}, 0,
 		func(tid int, c *machine.Context, lo, hi int) float64 {
@@ -251,6 +257,9 @@ func (k *BT) Run(rt *omp.RT, iterations int) error {
 			}
 			return s
 		}, func(a, b float64) float64 { return a + b })
+	if err := rt.Checkpoint(); err != nil {
+		return err
+	}
 	k.ran = true
 	return nil
 }

@@ -1,0 +1,173 @@
+package npb
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"hugeomp/internal/check"
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/omp"
+)
+
+// abortCtx is a context whose Err fires after a fixed number of polls —
+// the instrument that lets the abort table hit every cancellation point of a
+// run: poll k is the k-th time anything (worksharing chunk grab or kernel
+// Checkpoint) looks at the context.
+type abortCtx struct {
+	context.Context
+	after int64
+	polls atomic.Int64
+}
+
+func newAbortCtx(after int64) *abortCtx {
+	return &abortCtx{Context: context.Background(), after: after}
+}
+
+func (a *abortCtx) Err() error {
+	if a.polls.Add(1) > a.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunCancelled: the table-driven abort sweep. For each kernel: count the
+// run's cancellation polls, then abort at points spread across the whole run
+// (including the very first poll) and require, every time, that
+//
+//   - the error wraps both omp.ErrAborted and the context's error,
+//   - the abandoned fork still passes the full check.All audit (every access
+//     that happened is fully accounted — cancellation loses no counters), and
+//   - after all those aborted forks, a sibling fork of the same warm template
+//     still reproduces the cold run bit-for-bit (aborts never leak into the
+//     shared snapshot).
+func TestRunCancelled(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := RunConfig{
+				Model: machine.Opteron270(), Threads: 2, Policy: core.Policy2M, Class: ClassT,
+			}
+			ck, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := Run(ck, cfg)
+			if err != nil {
+				t.Fatalf("cold: %v", err)
+			}
+			w, err := NewWarm(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Poll census: a complete run under a never-firing instrumented
+			// context tells us how many cancellation points the run has.
+			census := newAbortCtx(math.MaxInt64)
+			probe := cfg
+			probe.Ctx = census
+			if _, err := w.Run(probe); err != nil {
+				t.Fatalf("census run: %v", err)
+			}
+			total := census.polls.Load()
+			if total == 0 {
+				t.Fatalf("%s run polled the context zero times — no cancellation points", name)
+			}
+
+			// Abort thresholds: the first poll, the last, and points spread
+			// across the run (capped so the sweep stays cheap; every kind of
+			// checkpoint is still crossed because the stride is coprime-ish
+			// with nothing — it simply lands in every phase of the run).
+			const maxAborts = 10
+			stride := total / maxAborts
+			if stride < 1 {
+				stride = 1
+			}
+			var thresholds []int64
+			for at := int64(1); at <= total; at += stride {
+				thresholds = append(thresholds, at)
+			}
+			thresholds = append(thresholds, total) // the final checkpoint
+
+			for _, at := range thresholds {
+				acfg := cfg
+				acfg.Ctx = newAbortCtx(at - 1) // fire ON poll `at`
+				_, sys, _, err := w.RunOn(acfg)
+				if err == nil {
+					// Aborting on the very last polls can lose the race with
+					// completion only if the run stopped polling — but our
+					// thresholds are ≤ total, so poll `at` must fire.
+					t.Fatalf("abort at poll %d/%d: run completed", at, total)
+				}
+				if !errors.Is(err, omp.ErrAborted) {
+					t.Fatalf("abort at poll %d: err = %v, want omp.ErrAborted", at, err)
+				}
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("abort at poll %d: err = %v, want wrapped context.Canceled", at, err)
+				}
+				if sys == nil {
+					t.Fatalf("abort at poll %d: no system returned for post-mortem", at)
+				}
+				if aerr := check.All(sys.Machine); aerr != nil {
+					t.Fatalf("abort at poll %d/%d: aborted fork fails audit: %v", at, total, aerr)
+				}
+			}
+
+			// Sibling isolation: after every aborted fork above, a fresh fork
+			// of the same template must still equal the cold run exactly.
+			sib, err := w.Run(cfg)
+			if err != nil {
+				t.Fatalf("sibling after aborts: %v", err)
+			}
+			if !reflect.DeepEqual(cold, sib) {
+				t.Errorf("sibling fork after aborted runs differs from cold run:\ncold: %+v\nsib:  %+v", cold, sib)
+			}
+		})
+	}
+}
+
+// TestRunCancelledColdPath: the cold (non-warm) path reports the same
+// abort contract and returns the system for post-mortem audit.
+func TestRunCancelledColdPath(t *testing.T) {
+	cfg := RunConfig{
+		Model: machine.Opteron270(), Threads: 2, Policy: core.Policy4K, Class: ClassT,
+		Ctx: newAbortCtx(0), // fire on the first poll
+	}
+	k, err := New("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sys, rt, err := RunOn(k, cfg)
+	if !errors.Is(err, omp.ErrAborted) {
+		t.Fatalf("err = %v, want omp.ErrAborted", err)
+	}
+	if sys == nil || rt == nil {
+		t.Fatal("aborted cold run must return sys and rt for post-mortem")
+	}
+	if aerr := check.All(sys.Machine); aerr != nil {
+		t.Fatalf("aborted cold run fails audit: %v", aerr)
+	}
+}
+
+// TestRunDeadlineContext: a real context.WithCancel cancelled before the run
+// begins aborts immediately with the deadline error chain intact.
+func TestRunDeadlineContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := RunConfig{
+		Model: machine.Opteron270(), Threads: 2, Policy: core.Policy4K, Class: ClassT,
+		Ctx: ctx,
+	}
+	k, err := New("mg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(k, cfg); !errors.Is(err, omp.ErrAborted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrAborted wrapping context.Canceled", err)
+	}
+}

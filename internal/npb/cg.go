@@ -257,11 +257,20 @@ func (k *CG) Run(rt *omp.RT, iterations int) error {
 	rho := k.dot(rt, k.r, k.r)
 	k.rho0 = rho
 	for it := 0; it < iterations; it++ {
+		if err := rt.Checkpoint(); err != nil {
+			return err
+		}
 		if rho <= k.rho0*1e-28 {
 			break // converged to rounding noise; further steps break down
 		}
 		k.matvec(rt)
 		pq := k.dot(rt, k.p, k.q)
+		// An aborted dot skips chunks and yields a partial sum; check the
+		// abort before interpreting pq, or a cancellation would masquerade
+		// as numerical breakdown.
+		if err := rt.Checkpoint(); err != nil {
+			return err
+		}
 		if pq <= 0 {
 			return fmt.Errorf("cg: breakdown at iteration %d (pq=%g)", it, pq)
 		}
@@ -272,6 +281,9 @@ func (k *CG) Run(rt *omp.RT, iterations int) error {
 		beta := rhoNew / rho
 		rho = rhoNew
 		k.xpby(rt, k.p, k.r, beta)
+	}
+	if err := rt.Checkpoint(); err != nil {
+		return err
 	}
 	k.rhoFinal = rho
 	k.ran = true

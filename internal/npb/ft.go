@@ -226,12 +226,20 @@ func (k *FT) evolve(rt *omp.RT, step int) {
 // reconstruct the input.
 func (k *FT) Run(rt *omp.RT, iterations int) error {
 	for it := 0; it < iterations; it++ {
+		if err := rt.Checkpoint(); err != nil {
+			return err
+		}
 		k.rowPass(rt, false)
 		k.pencilPass(rt, false)
 		k.evolve(rt, it+1)
 		k.evolve(rt, -(it + 1)) // unitary inverse of the evolution
 		k.pencilPass(rt, true)
 		k.rowPass(rt, true)
+	}
+	// An abort mid-cycle leaves the field un-reconstructed; bail before the
+	// error scan would report that as a transform failure.
+	if err := rt.Checkpoint(); err != nil {
+		return err
 	}
 	// Compare against the pristine copy.
 	k.maxErr = 0

@@ -336,10 +336,19 @@ func (k *MG) Run(rt *omp.RT, iterations int) error {
 	k.resid(rt, 0)
 	k.norm0 = k.norm2(rt)
 	for it := 0; it < iterations; it++ {
+		if err := rt.Checkpoint(); err != nil {
+			return err
+		}
 		k.vcycle(rt)
+	}
+	if err := rt.Checkpoint(); err != nil {
+		return err
 	}
 	k.resid(rt, 0)
 	k.normF = k.norm2(rt)
+	if err := rt.Checkpoint(); err != nil {
+		return err
+	}
 	k.ran = true
 	return nil
 }

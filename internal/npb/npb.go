@@ -26,6 +26,7 @@
 package npb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -130,6 +131,13 @@ type RunConfig struct {
 	HugePages int
 	// Fault arms deterministic fault injection for the whole run (nil = off).
 	Fault *faultinject.Plan
+
+	// Ctx, if non-nil, bounds the run: the kernel observes cancellation at
+	// its next checkpoint (iteration boundaries and in-region chunk grabs)
+	// and Run returns an error wrapping omp.ErrAborted and the context's
+	// error. Excluded from JSON encoding so memoization keys never depend
+	// on a request's deadline plumbing, only on what is simulated.
+	Ctx context.Context `json:"-"`
 }
 
 // Result reports one benchmark run.
@@ -159,7 +167,10 @@ func Run(k Kernel, cfg RunConfig) (Result, error) {
 
 // RunOn is Run returning the assembled system and runtime alongside the
 // result, for harnesses that audit post-run state (internal/check invariants
-// in cmd/chaos) or read per-context counters.
+// in cmd/chaos) or read per-context counters. When Run or Verify fails after
+// the system was assembled — including a context abort — the system and
+// runtime are returned alongside the error so the caller can post-mortem the
+// abandoned state (an aborted run must still pass check.All).
 func RunOn(k Kernel, cfg RunConfig) (Result, *core.System, *omp.RT, error) {
 	shared := sharedBytesFor(cfg.Class)
 	sys, err := core.NewSystem(core.Config{
@@ -183,15 +194,18 @@ func RunOn(k Kernel, cfg RunConfig) (Result, *core.System, *omp.RT, error) {
 	if err != nil {
 		return Result{}, nil, nil, err
 	}
+	if cfg.Ctx != nil {
+		rt.Bind(cfg.Ctx)
+	}
 	iters := cfg.Iterations
 	if iters == 0 {
 		iters = k.DefaultIterations(cfg.Class)
 	}
 	if err := k.Run(rt, iters); err != nil {
-		return Result{}, nil, nil, fmt.Errorf("npb: run %s: %w", k.Name(), err)
+		return Result{}, sys, rt, fmt.Errorf("npb: run %s: %w", k.Name(), err)
 	}
 	if err := k.Verify(); err != nil {
-		return Result{}, nil, nil, fmt.Errorf("npb: verify %s: %w", k.Name(), err)
+		return Result{}, sys, rt, fmt.Errorf("npb: verify %s: %w", k.Name(), err)
 	}
 	return Result{
 		Kernel:   k.Name(),

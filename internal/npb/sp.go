@@ -215,10 +215,16 @@ func (k *SP) zSolve(rt *omp.RT, lam float64) {
 func (k *SP) Run(rt *omp.RT, iterations int) error {
 	const lam = 0.45
 	for it := 0; it < iterations; it++ {
+		if err := rt.Checkpoint(); err != nil {
+			return err
+		}
 		k.computeRHS(rt)
 		k.xSolve(rt, lam)
 		k.ySolve(rt, lam)
 		k.zSolve(rt, lam)
+	}
+	if err := rt.Checkpoint(); err != nil {
+		return err
 	}
 	// Checksum reduction.
 	k.checksum = rt.ParallelForReduce(k.codeRHS, k.n(), omp.For{Schedule: omp.Static}, 0,
@@ -230,6 +236,9 @@ func (k *SP) Run(rt *omp.RT, iterations int) error {
 			}
 			return s
 		}, func(a, b float64) float64 { return a + b })
+	if err := rt.Checkpoint(); err != nil {
+		return err
+	}
 	k.ran = true
 	return nil
 }

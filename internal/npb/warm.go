@@ -76,6 +76,8 @@ func (w *Warm) Run(cfg RunConfig) (Result, error) {
 
 // RunOn is Run returning the forked system and runtime alongside the result,
 // mirroring the package-level RunOn for harnesses that audit post-run state.
+// Like the package-level RunOn, a fork whose Run or Verify failed — including
+// a context abort — comes back alongside the error for post-mortem audit.
 func (w *Warm) RunOn(cfg RunConfig) (Result, *core.System, *omp.RT, error) {
 	res, _, sys, rt, err := w.runOn(cfg)
 	return res, sys, rt, err
@@ -114,15 +116,18 @@ func (w *Warm) runOn(cfg RunConfig) (Result, Kernel, *core.System, *omp.RT, erro
 	if err != nil {
 		return Result{}, nil, nil, nil, err
 	}
+	if cfg.Ctx != nil {
+		rt.Bind(cfg.Ctx)
+	}
 	iters := cfg.Iterations
 	if iters == 0 {
 		iters = fk.DefaultIterations(cfg.Class)
 	}
 	if err := fk.Run(rt, iters); err != nil {
-		return Result{}, nil, nil, nil, fmt.Errorf("npb: run %s: %w", fk.Name(), err)
+		return Result{}, fk, sys, rt, fmt.Errorf("npb: run %s: %w", fk.Name(), err)
 	}
 	if err := fk.Verify(); err != nil {
-		return Result{}, nil, nil, nil, fmt.Errorf("npb: verify %s: %w", fk.Name(), err)
+		return Result{}, fk, sys, rt, fmt.Errorf("npb: verify %s: %w", fk.Name(), err)
 	}
 	return Result{
 		Kernel:   fk.Name(),

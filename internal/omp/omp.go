@@ -15,6 +15,8 @@
 package omp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -26,6 +28,11 @@ import (
 	"hugeomp/internal/shmem"
 	"hugeomp/internal/units"
 )
+
+// ErrAborted is wrapped by every error a cancelled run reports: a kernel
+// whose bound context expires returns an error satisfying both
+// errors.Is(err, ErrAborted) and errors.Is(err, ctx.Err()).
+var ErrAborted = errors.New("omp: run aborted")
 
 // ScheduleKind selects a worksharing schedule.
 type ScheduleKind uint8
@@ -123,6 +130,12 @@ type RT struct {
 	// Per-code-region profile (the OProfile per-symbol view): aggregated
 	// counter deltas and wall cycles for every named CodeRegion.
 	regionProf map[string]*RegionProfile
+
+	// runCtx is the cancellation source bound by Bind (nil = the run can
+	// never be aborted); abortErr latches the first cancellation observed
+	// at a Checkpoint so every later call reports the same error.
+	runCtx   context.Context
+	abortErr error
 }
 
 // RegionProfile aggregates the activity attributed to one named parallel
@@ -188,6 +201,40 @@ func (rt *RT) Seconds() float64 { return rt.m.Seconds(rt.wall) }
 
 // Regions returns the number of parallel regions executed.
 func (rt *RT) Regions() uint64 { return rt.regions }
+
+// Bind attaches ctx as the runtime's cancellation source. Worksharing loops
+// poll it between chunks and stop issuing work once it is done (the region
+// still runs its barrier and merges its counter deltas, so the machine stays
+// audit-consistent); kernels observe the abort at their next Checkpoint. A
+// nil or never-done context leaves the run uncancellable, and the polls are
+// pure reads — a run with an idle context is bit-identical to an unbound one.
+func (rt *RT) Bind(ctx context.Context) { rt.runCtx = ctx }
+
+// Checkpoint is the cooperative cancellation point kernels call at quiescent
+// boundaries (between timestep iterations, after reductions feeding control
+// flow): nil while the bound context is live, and a sticky error wrapping
+// ErrAborted and the context's error once it is done. After a non-nil
+// Checkpoint the runtime must not be used for further regions — the caller
+// abandons the run and its fork.
+func (rt *RT) Checkpoint() error {
+	if rt.abortErr != nil {
+		return rt.abortErr
+	}
+	if rt.runCtx == nil {
+		return nil
+	}
+	if err := rt.runCtx.Err(); err != nil {
+		rt.abortErr = fmt.Errorf("%w at region %d: %w", ErrAborted, rt.regions, err)
+	}
+	return rt.abortErr
+}
+
+// interrupted polls the bound context from worksharing loops; safe from team
+// goroutines (context.Err is concurrency-safe, and rt.runCtx is written only
+// between regions).
+func (rt *RT) interrupted() bool {
+	return rt.runCtx != nil && rt.runCtx.Err() != nil
+}
 
 // AddSerial charges cyc cycles of master-only serial execution to the wall
 // clock (the sequential sections of the fork-join model).
@@ -321,8 +368,14 @@ func (rt *RT) ParallelFor(code *CodeRegion, n int, f For, body func(tid int, c *
 		chunk := f.chunk(n, nt)
 		rt.Parallel(code, func(tid int, c *machine.Context) {
 			// Chunked round-robin; with the default chunk this is one
-			// contiguous block per thread.
+			// contiguous block per thread. A cancelled run stops issuing
+			// chunks — the checkpoint interval of an abandoned request —
+			// and falls through to the implicit barrier, leaving every
+			// completed access fully counted.
 			for lo := tid * chunk; lo < n; lo += nt * chunk {
+				if rt.interrupted() {
+					break
+				}
 				hi := lo + chunk
 				if hi > n {
 					hi = n
@@ -359,7 +412,7 @@ func (rt *RT) virtualTimeFor(code *CodeRegion, n int, f For, body func(tid int, 
 	minChunk := f.chunk(n, nt)
 	remaining := n
 	lo := 0
-	for remaining > 0 {
+	for remaining > 0 && !rt.interrupted() {
 		// Pick the most-idle context.
 		tid := 0
 		for i := 1; i < nt; i++ {
@@ -625,7 +678,7 @@ func (rt *RT) SpinLockDo(l *SpinLock, c *machine.Context, fn func()) {
 func (rt *RT) ParallelSections(code *CodeRegion, sections []func(c *machine.Context)) {
 	var next atomic.Int64
 	rt.Parallel(code, func(tid int, c *machine.Context) {
-		for {
+		for !rt.interrupted() {
 			i := int(next.Add(1)) - 1
 			if i >= len(sections) {
 				return

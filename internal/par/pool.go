@@ -1,0 +1,125 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Submission errors of Pool. ErrSaturated is the backpressure signal an
+// admission controller turns into a 429: the queue is full and the caller
+// should retry later rather than block. ErrClosed means the pool is draining
+// or drained and will never accept the task.
+var (
+	ErrSaturated = errors.New("par: pool saturated")
+	ErrClosed    = errors.New("par: pool closed")
+)
+
+// Pool is a long-lived bounded worker pool with a bounded submission queue —
+// the admission substrate of the simulator service. Unlike Map, which exists
+// for the duration of one batch, a Pool serves an open-ended request stream:
+// Submit either enqueues a task or refuses immediately (ErrSaturated /
+// ErrClosed), so callers can apply backpressure instead of queueing without
+// limit.
+//
+// Workers are panic-backstopped: a task panic is counted, the worker replaces
+// itself, and the pool keeps serving. Tasks that need their panics observed
+// (the service's session boundary) install their own recover; the backstop
+// only guarantees a misbehaving task cannot burn a worker slot forever.
+type Pool struct {
+	mu      sync.RWMutex // guards closed vs. the tasks channel send
+	tasks   chan func()
+	closed  bool
+	wg      sync.WaitGroup
+	workers int
+	panics  atomic.Uint64
+	queued  atomic.Int64 // tasks submitted and not yet started
+}
+
+// NewPool starts a pool with the given worker count and queue capacity.
+// workers <= 0 defaults to GOMAXPROCS (the internal/par sizing rule: one
+// simulation saturates one host core); queue <= 0 defaults to 2x workers.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	p := &Pool{tasks: make(chan func(), queue), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+// work is a worker goroutine: it drains the task queue until Close. The
+// backstop defer runs before this worker's wg.Done (LIFO), so a replacement
+// is registered before the crashed worker retires and Close's Wait can never
+// observe a transient zero.
+//
+//simlint:panicboundary
+func (p *Pool) work() {
+	defer p.wg.Done()
+	defer p.backstop()
+	for task := range p.tasks {
+		p.queued.Add(-1)
+		task()
+	}
+}
+
+// backstop recovers a panic that escaped a task, counts it, and replaces the
+// lost worker so pool capacity survives any request.
+func (p *Pool) backstop() {
+	if r := recover(); r != nil {
+		p.panics.Add(1)
+		p.wg.Add(1)
+		go p.work()
+	}
+}
+
+// Submit enqueues task for execution, never blocking: ErrSaturated when the
+// queue is full (retry-later backpressure), ErrClosed once Close has begun.
+func (p *Pool) Submit(task func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.tasks <- task:
+		p.queued.Add(1)
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// Close stops admission and waits for every queued and running task to
+// finish. Safe to call once; Submit after Close returns ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueCap returns the submission queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.tasks) }
+
+// Queued returns the number of submitted tasks not yet started.
+func (p *Pool) Queued() int { return int(p.queued.Load()) }
+
+// Panics returns the number of task panics absorbed by the worker backstop.
+func (p *Pool) Panics() uint64 { return p.panics.Load() }

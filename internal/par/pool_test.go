@@ -1,0 +1,109 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		for {
+			err := p.Submit(func() { ran.Add(1); wg.Done() })
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrSaturated) {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond) // backpressure: retry later
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 50 {
+		t.Errorf("ran %d tasks, want 50", ran.Load())
+	}
+	p.Close()
+}
+
+func TestPoolSaturationRefusesWithoutBlocking(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := p.Submit(func() { defer wg.Done(); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue, then the next submit must refuse immediately.
+	deadline := time.After(2 * time.Second)
+	saturated := false
+	for !saturated {
+		select {
+		case <-deadline:
+			t.Fatal("pool never saturated")
+		default:
+		}
+		err := p.Submit(func() {})
+		if errors.Is(err, ErrSaturated) {
+			saturated = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(block)
+	wg.Wait()
+	p.Close()
+}
+
+func TestPoolCloseDrainsAndRefuses(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		for p.Submit(func() { ran.Add(1) }) != nil {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Close() // must wait for all queued tasks
+	if ran.Load() != 8 {
+		t.Errorf("Close returned with %d/8 tasks run", ran.Load())
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestPoolPanicBackstop: a panicking task is absorbed, counted, and the pool
+// keeps its full capacity — later tasks still run.
+func TestPoolPanicBackstop(t *testing.T) {
+	p := NewPool(2, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { defer wg.Done(); panic("poisoned session") }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		for p.Submit(func() { ran.Add(1); wg.Done() }) != nil {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 8 {
+		t.Errorf("after panics, ran %d/8 tasks", ran.Load())
+	}
+	if got := p.Panics(); got != 3 {
+		t.Errorf("panics = %d, want 3", got)
+	}
+	p.Close()
+}

@@ -1,0 +1,144 @@
+package simsrv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"hugeomp/internal/npb"
+	"hugeomp/internal/omp"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /run     — run (or recall) one simulation
+//	GET  /healthz — liveness and drain state
+//	GET  /stats   — typed event counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.ctr.drained.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, kindDraining, "server is draining")
+		return
+	}
+
+	var req Request
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.ctr.invalid.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, kindInvalid, "request body exceeds limit")
+			return
+		}
+		writeError(w, http.StatusBadRequest, kindInvalid, "malformed request: "+err.Error())
+		return
+	}
+
+	cfg, key, err := s.compile(&req)
+	if err != nil {
+		s.ctr.invalid.Add(1)
+		writeError(w, http.StatusBadRequest, kindInvalid, err.Error())
+		return
+	}
+
+	// The deadline budget starts at admission: queue wait spends it too, so
+	// a request cannot hold a queue slot beyond the budget it arrived with.
+	ctx, cancel := context.WithTimeout(r.Context(), s.budget(&req))
+	defer cancel()
+
+	s.ctr.requests.Add(1)
+	var (
+		res npb.Result
+		hit bool
+	)
+	if req.Inject != "" {
+		// Injected faults bypass the memo: a poisoned session must never
+		// publish — or be answered from — a content-addressed result.
+		res, err = s.dispatch(ctx, cfg, req.Kernel, req.Inject)
+	} else {
+		res, hit, err = s.run(ctx, cfg, req.Kernel, key)
+	}
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	s.ctr.completed.Add(1)
+	if hit {
+		s.ctr.cacheHits.Add(1)
+	}
+	writeJSON(w, http.StatusOK, Response{Key: key, Cached: hit, Result: res})
+}
+
+// writeRunError maps a failed session onto status, typed kind, and counters.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		s.ctr.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, kindSaturated, "admission queue full; retry later")
+	case errors.Is(err, ErrDraining):
+		s.ctr.drained.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, kindDraining, "server is draining")
+	case errors.Is(err, omp.ErrAborted):
+		s.ctr.aborted.Add(1)
+		writeError(w, http.StatusGatewayTimeout, kindAborted, err.Error())
+	case errors.Is(err, ErrSessionPanic):
+		// counted at the session boundary, where the recover runs
+		writeError(w, http.StatusInternalServerError, kindPanic, err.Error())
+	default:
+		s.ctr.failed.Add(1)
+		writeError(w, http.StatusInternalServerError, kindInternal, err.Error())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": status})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type stats struct {
+		Counters Counters `json:"counters"`
+		Workers  int      `json:"workers"`
+		QueueCap int      `json:"queue_cap"`
+		Queued   int      `json:"queued"`
+		MemoLen  int      `json:"memo_len"`
+		MemoCap  int      `json:"memo_cap"`
+	}
+	writeJSON(w, http.StatusOK, stats{
+		Counters: s.Counters(),
+		Workers:  s.pool.Workers(),
+		QueueCap: s.pool.QueueCap(),
+		Queued:   s.pool.Queued(),
+		MemoLen:  s.memo.Len(),
+		MemoCap:  s.memo.Capacity(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, kind errorKind, msg string) {
+	writeJSON(w, code, map[string]ErrorBody{"error": {Kind: kind, Message: msg}})
+}

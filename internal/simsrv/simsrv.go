@@ -1,0 +1,234 @@
+// Package simsrv is the fault-tolerant simulator service behind cmd/simd: an
+// HTTP/JSON front end that accepts (machine config, workload, params)
+// requests, runs them on warmed snapshot forks, and returns the run's
+// counters. The batch drivers (cmd/hugeomp, cmd/sweep, cmd/chaos) build one
+// System per cell and crash loudly on any error; the service inverts every
+// one of those assumptions:
+//
+//   - Cancellation. Each request carries a deadline budget; the run context
+//     is threaded through the OpenMP runtime (omp.RT.Bind) so an abandoned
+//     request stops at its next checkpoint, frees its worker, and leaves an
+//     aborted fork that still passes the full check.All audit.
+//
+//   - Admission control. A bounded worker pool (internal/par.Pool) with a
+//     bounded queue refuses work it cannot start promptly — 429 with a
+//     Retry-After — instead of queueing unboundedly; a draining server
+//     answers 503.
+//
+//   - Panic quarantine. A panic inside a session is recovered at the session
+//     boundary, turned into a typed error for that request alone, and the
+//     poisoned fork is abandoned. The shared warm snapshot is then audited
+//     through a sibling fork; only if the audit fails is the template itself
+//     quarantined (evicted). The server never dies with a session.
+//
+//   - Idempotent retries. Results are memoized under the canonical content
+//     key of the simulated configuration (internal/memo), so a client retry
+//     — or a concurrent duplicate, collapsed by the memo's single-flight —
+//     observes bit-identical counters without a second simulation.
+//
+// See docs/ROBUSTNESS.md ("Service failure model") for the contract each
+// piece upholds.
+package simsrv
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/memo"
+	"hugeomp/internal/npb"
+	"hugeomp/internal/par"
+)
+
+// Typed session errors: every failure a request can observe is classified,
+// counted, and reported with a machine-readable kind.
+var (
+	// ErrSessionPanic wraps a panic recovered at a session boundary.
+	ErrSessionPanic = errors.New("simsrv: session panicked")
+	// ErrSaturated mirrors par.ErrSaturated at the admission layer.
+	ErrSaturated = errors.New("simsrv: admission queue full")
+	// ErrDraining reports a server that is shutting down.
+	ErrDraining = errors.New("simsrv: draining")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds concurrent simulations; 0 = GOMAXPROCS.
+	Workers int
+	// Queue bounds admitted-but-not-started simulations; 0 = 2×workers.
+	Queue int
+	// DefaultDeadline applies when a request names none.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps any request's deadline budget: the server owns its
+	// worst-case occupancy, not the client.
+	MaxDeadline time.Duration
+	// MemoCapacity bounds the result cache (entries); 0 = unbounded.
+	MemoCapacity int
+	// AllowInject enables the test-only fault injection field on requests
+	// (the chaos harness's panic trigger). Off in production.
+	AllowInject bool
+	// MaxBodyBytes bounds a request body; 0 = 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Counters are the service's typed event counts, one per observable outcome
+// class, exposed by /stats and asserted by the soak harness.
+type Counters struct {
+	Requests    uint64 `json:"requests"`     // admitted /run requests
+	Completed   uint64 `json:"completed"`    // answered with a result
+	CacheHits   uint64 `json:"cache_hits"`   // answered from the memo
+	Aborted     uint64 `json:"aborted"`      // cancelled or deadline-expired
+	Panicked    uint64 `json:"panicked"`     // sessions recovered at the boundary
+	Quarantined uint64 `json:"quarantined"`  // templates evicted after a failed audit
+	Rejected    uint64 `json:"rejected"`     // refused by admission control (429)
+	Drained     uint64 `json:"drained"`      // refused while draining (503)
+	Invalid     uint64 `json:"invalid"`      // malformed or oversized requests (4xx)
+	Failed      uint64 `json:"failed"`       // other run failures (500)
+	Retries     uint64 `json:"retries"`      // single-flight retries after a leader abort
+	PoolPanics  uint64 `json:"pool_panics"`  // backstop catches (should stay 0)
+	MemoMisses  uint64 `json:"memo_misses"`  // simulations actually run
+	MemoEvicted uint64 `json:"memo_evicted"` // results dropped by the capacity bound
+}
+
+type counters struct {
+	requests, completed, cacheHits atomic.Uint64
+	aborted, panicked, quarantined atomic.Uint64
+	rejected, drained, invalid     atomic.Uint64
+	failed, retries                atomic.Uint64
+}
+
+// Server is the simulator service. Create with NewServer; serve its Handler.
+type Server struct {
+	cfg  Config
+	pool *par.Pool
+	memo *memo.Cache
+	ctr  counters
+
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	tmpls map[tmplKey]*tmplEntry
+}
+
+// tmplKey identifies a warm template: exactly the construction-shaping
+// fields that must match between a template and a fork (npb.Warm's
+// contract); model, sharing, barrier, threads and iterations are free per
+// fork and deliberately absent.
+type tmplKey struct {
+	Kernel    string
+	Class     npb.Class
+	Policy    core.PagePolicy
+	HugePages int
+}
+
+// tmplEntry is a single-flight slot for one template: the first session
+// builds it, concurrent sessions for the same key wait on the same once.
+type tmplEntry struct {
+	once sync.Once
+	w    *npb.Warm
+	err  error
+}
+
+// NewServer builds a server. Callers serve s.Handler() and, on shutdown,
+// call s.Drain followed by s.Close.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		pool:  par.NewPool(cfg.Workers, cfg.Queue),
+		memo:  memo.NewBounded(cfg.MemoCapacity),
+		tmpls: make(map[tmplKey]*tmplEntry),
+	}
+}
+
+// Drain puts the server into draining mode: every subsequent request is
+// refused with 503 while in-flight sessions run to completion (or their
+// deadlines). Idempotent.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Close drains the worker pool, waiting for queued sessions. Call after
+// Drain and after the HTTP listener has shut down.
+func (s *Server) Close() { s.pool.Close() }
+
+// Counters snapshots the typed event counts.
+func (s *Server) Counters() Counters {
+	_, misses := s.memo.Stats()
+	return Counters{
+		Requests:    s.ctr.requests.Load(),
+		Completed:   s.ctr.completed.Load(),
+		CacheHits:   s.ctr.cacheHits.Load(),
+		Aborted:     s.ctr.aborted.Load(),
+		Panicked:    s.ctr.panicked.Load(),
+		Quarantined: s.ctr.quarantined.Load(),
+		Rejected:    s.ctr.rejected.Load(),
+		Drained:     s.ctr.drained.Load(),
+		Invalid:     s.ctr.invalid.Load(),
+		Failed:      s.ctr.failed.Load(),
+		Retries:     s.ctr.retries.Load(),
+		PoolPanics:  s.pool.Panics(),
+		MemoMisses:  misses,
+		MemoEvicted: s.memo.Evictions(),
+	}
+}
+
+// template returns the warm template for cfg's construction-shaping fields,
+// building it once. A quarantined template has been evicted, so the next
+// session rebuilds from scratch — cold construction cannot be poisoned by a
+// dead fork.
+func (s *Server) template(cfg npb.RunConfig, kernel string) (*npb.Warm, tmplKey, error) {
+	key := tmplKey{Kernel: kernel, Class: cfg.Class, Policy: cfg.Policy, HugePages: cfg.HugePages}
+	s.mu.Lock()
+	e := s.tmpls[key]
+	if e == nil {
+		e = &tmplEntry{}
+		s.tmpls[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		base := cfg
+		base.Ctx = nil // templates outlive any request
+		e.w, e.err = npb.NewWarm(kernel, base)
+	})
+	if e.err != nil {
+		// Failed construction is not cached: drop the slot so a later
+		// request retries (the failure may have been load-dependent).
+		s.mu.Lock()
+		if s.tmpls[key] == e {
+			delete(s.tmpls, key)
+		}
+		s.mu.Unlock()
+		return nil, key, e.err
+	}
+	return e.w, key, nil
+}
+
+// evictTemplate quarantines one template: future sessions rebuild cold.
+func (s *Server) evictTemplate(key tmplKey, e *tmplEntry) {
+	s.mu.Lock()
+	if s.tmpls[key] == nil || s.tmpls[key] == e {
+		delete(s.tmpls, key)
+	}
+	s.mu.Unlock()
+	s.ctr.quarantined.Add(1)
+}
+
+func (s *Server) tmplEntryFor(key tmplKey) *tmplEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tmpls[key]
+}
