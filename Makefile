@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint chaos serve-soak simd-smoke race bench microbench simbench experiments examples fuzz clean
+.PHONY: all build test check lint chaos serve-soak simd-smoke serve-bench race bench microbench simbench experiments examples fuzz clean
 
 all: build test check
 
@@ -45,10 +45,18 @@ serve-soak:
 	$(GO) run ./cmd/chaos -serve -plans 300
 
 # Short race-mode smoke over the simd service stack (the CI leg): the
-# full simsrv suite exercises cancellation, panic quarantine, admission
-# and single-flight under the race detector.
+# full simsrv suite exercises cancellation, panic quarantine, admission,
+# the footprint scheduler and template pool, and cross-process single-flight
+# on the shared disk cache — all under the race detector.
 simd-smoke:
-	$(GO) test -race -count=1 ./internal/simsrv/ ./internal/par/ ./internal/memo/
+	$(GO) test -race -count=1 ./internal/simsrv/ ./internal/par/ ./internal/memo/...
+
+# Service-scale throughput floors: a mixed load on a warm-restarted server
+# over a populated shared disk cache must beat the no-disk-cache
+# single-template baseline by >= 3x and answer >= 90% of warm-restart
+# requests from a cache layer. Also run as part of `make bench`.
+serve-bench:
+	$(GO) run ./cmd/experiments -serve-bench
 
 race:
 	$(GO) test -race ./internal/omp/ ./internal/npb/ ./internal/machine/ ./internal/mpi/ ./internal/par/ ./internal/bench/
@@ -61,7 +69,8 @@ simbench:
 # if either is >2x slower than the committed BENCH_simulator.json. On hosts
 # with >= 4 procs it also enforces the parallel-efficiency floor: 4-thread
 # CG must run >= 1.5x faster than 1-thread (skipped with a note on smaller
-# hosts, where a time-sliced team cannot speed up).
+# hosts, where a time-sliced team cannot speed up). The service-scale floors
+# (>=3x warm-restart throughput, >=90% cache-answered) run here too.
 bench:
 	$(GO) run ./cmd/experiments -bench-baseline
 

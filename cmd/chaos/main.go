@@ -12,6 +12,8 @@
 //	chaos -plans 200 -v      # longer soak, per-plan lines
 //	chaos -seed 7 -kernels CG
 //	chaos -serve -plans 300  # soak the simd service over HTTP instead
+//	chaos -serve -cache-dir /tmp/homc   # soak against a shared on-disk cache;
+//	                                    # run twice to prove cross-process hits
 package main
 
 import (
@@ -132,13 +134,17 @@ func main() {
 	seed := flag.Uint64("seed", 0x5eed, "base seed; plan i uses seed+i")
 	verbose := flag.Bool("v", false, "print one line per (plan, kernel) cell")
 	serve := flag.Bool("serve", false, "soak the simd HTTP service instead of the in-process simulator; -plans becomes the op count")
+	cacheDir := flag.String("cache-dir", "", "with -serve: shared on-disk result cache directory (as simd -cache-dir)")
 	flag.Parse()
 
 	if *serve {
-		if err := serveSoak(*plans, *seed, *verbose); err != nil {
+		if err := serveSoak(*plans, *seed, *verbose, *cacheDir); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *cacheDir != "" {
+		log.Fatal("-cache-dir requires -serve")
 	}
 
 	class, err := npb.ParseClass(*classFlag)

@@ -38,15 +38,23 @@ import (
 // The memo is kept deliberately tiny so the soak's identical requests are
 // periodically evicted and re-simulated — byte-equality across the campaign
 // is then a statement about the simulator's determinism, not about a cache
-// echoing one result back.
-func serveSoak(ops int, seed uint64, verbose bool) error {
-	srv := simsrv.NewServer(simsrv.Config{
+// echoing one result back. With cacheDir set, the soak additionally exercises
+// the shared on-disk layer: memo evictions refill from disk instead of
+// re-simulating, and a second soak on the same directory — a separate process
+// — must answer from cross-process hits while still matching the cold
+// ground-truth sample bit-for-bit.
+func serveSoak(ops int, seed uint64, verbose bool, cacheDir string) error {
+	srv, err := simsrv.NewServer(simsrv.Config{
 		Workers:      4,
 		Queue:        8,
 		AllowInject:  true,
 		MaxBodyBytes: 2048,
 		MemoCapacity: 4,
+		CacheDir:     cacheDir,
 	})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -259,8 +267,17 @@ func serveSoak(ops int, seed uint64, verbose bool) error {
 	fmt.Printf("chaos -serve: %d runs, %d duplicate bursts, %d disconnects, %d malformed, %d oversized, %d panics, %d starved deadlines\n",
 		nRuns, nDups, nDrops, nBad, nBig, nPanics, nDeadlines)
 	fmt.Printf("chaos -serve: counters %+v\n", ctr)
-	fmt.Printf("chaos -serve: %d/%d simulations were fresh (memo capacity %d forced re-runs); every recomputation matched\n",
-		ctr.MemoMisses, ctr.Requests, 4)
+	if cacheDir == "" {
+		fmt.Printf("chaos -serve: %d/%d simulations were fresh (memo capacity %d forced re-runs); every recomputation matched\n",
+			ctr.MemoMisses, ctr.Requests, 4)
+	} else {
+		// With the shared disk layer, a memo miss refills from disk when the
+		// key was ever published — by this soak or by any earlier process on
+		// the same directory. Disk misses are the actual simulations.
+		ds := srv.DiskStats()
+		fmt.Printf("chaos -serve: shared cache %s: %d disk hits (cross-process or post-eviction), %d disk misses (fresh simulations), %d writes, %d corrupt entries skipped\n",
+			cacheDir, ds.Hits, ds.Misses, ds.Writes, ds.CorruptSkips)
+	}
 	return nil
 }
 

@@ -27,11 +27,30 @@ func main() {
 	doBench := flag.Bool("bench", false, "measure simulator host-side performance and write -bench-out")
 	benchOut := flag.String("bench-out", "BENCH_simulator.json", "output path for -bench")
 	baseline := flag.Bool("bench-baseline", false, "re-measure the dense and gather fast paths and fail if either regressed >2x vs -bench-out")
+	serveBench := flag.Bool("serve-bench", false, "measure only the service-scale throughput section and enforce its floors")
 	flag.Parse()
 
 	cl, err := npb.ParseClass(*class)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *serveBench {
+		svc, err := bench.MeasureServiceThroughput()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("service: %d mixed requests (%d unique): warm-restart %.2fs (%.0f req/s, %.0f%% cache-answered, %d disk hits, %d disk misses) vs no-disk-cache single-template baseline %.2fs (%.0f req/s) = %.1fx",
+			svc.Requests, svc.UniqueConfigs,
+			svc.ServiceSeconds, svc.ServiceRPS, svc.WarmRestartHitPct, svc.DiskHits, svc.DiskMisses,
+			svc.BaselineSeconds, svc.BaselineRPS, svc.SpeedupX)
+		if svc.SpeedupX < 3.0 {
+			log.Fatalf("service throughput %.2fx < 3.0x floor", svc.SpeedupX)
+		}
+		if svc.WarmRestartHitPct < 90 {
+			log.Fatalf("warm restart answered only %.0f%% of requests from cache, floor 90%%", svc.WarmRestartHitPct)
+		}
+		log.Print("service-scale floors hold (>=3x over baseline, >=90% warm-restart cache share)")
+		return
 	}
 	if *baseline {
 		report, err := bench.RegressionCheck(*benchOut)

@@ -4,7 +4,14 @@
 // is built to survive misbehaving clients and poisoned sessions — see
 // internal/simsrv and docs/ROBUSTNESS.md ("Service failure model").
 //
-//	simd -addr :8080 -workers 4 -queue 8 -max-deadline 1m
+//	simd -addr :8080 -workers 4 -queue 8 -max-deadline 1m \
+//	     -cache-dir /var/cache/hugeomp -mem-budget 512MB -template-budget 2GB
+//
+// With -cache-dir, results persist across restarts in a crash-safe shared
+// store (internal/memo/diskcache) that any number of simd, sweep and chaos
+// processes may point at concurrently; -mem-budget bounds the summed
+// estimated footprint of concurrently running sessions and -template-budget
+// bounds the warmed-template pool (LRU beyond it rebuild cold).
 //
 // On SIGINT/SIGTERM the server drains: new requests get 503 with a
 // Retry-After, in-flight sessions finish (or hit their deadlines), then the
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"hugeomp/internal/simsrv"
+	"hugeomp/internal/units"
 )
 
 func main() {
@@ -34,22 +42,41 @@ func main() {
 	memoCap := flag.Int("memo-capacity", 4096, "result cache entries (0 = unbounded)")
 	allowInject := flag.Bool("allow-inject", false, "enable test-only fault injection requests")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight sessions")
+	cacheDir := flag.String("cache-dir", "", "shared on-disk result cache directory (empty = memory only)")
+	memBudget := flag.String("mem-budget", "0", "footprint budget for concurrent sessions, e.g. 512MB (0 = unbounded)")
+	tmplBudget := flag.String("template-budget", "0", "warmed-template pool byte budget, e.g. 2GB (0 = unbounded)")
 	flag.Parse()
 
-	srv := simsrv.NewServer(simsrv.Config{
+	memBytes, err := units.ParseBytes(*memBudget)
+	if err != nil {
+		log.Fatalf("simd: -mem-budget: %v", err)
+	}
+	tmplBytes, err := units.ParseBytes(*tmplBudget)
+	if err != nil {
+		log.Fatalf("simd: -template-budget: %v", err)
+	}
+
+	srv, err := simsrv.NewServer(simsrv.Config{
 		Workers:         *workers,
 		Queue:           *queue,
 		DefaultDeadline: *defaultDeadline,
 		MaxDeadline:     *maxDeadline,
 		MemoCapacity:    *memoCap,
 		AllowInject:     *allowInject,
+		CacheDir:        *cacheDir,
+		MemBudget:       memBytes,
+		TemplateBudget:  tmplBytes,
 	})
+	if err != nil {
+		log.Fatalf("simd: %v", err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go serve(httpSrv, errc)
-	log.Printf("simd: serving on %s (workers=%d queue=%d max-deadline=%s inject=%v)",
-		*addr, *workers, *queue, *maxDeadline, *allowInject)
+	log.Printf("simd: serving on %s (workers=%d queue=%d max-deadline=%s inject=%v cache-dir=%q mem-budget=%s template-budget=%s)",
+		*addr, *workers, *queue, *maxDeadline, *allowInject, *cacheDir,
+		units.HumanBytes(memBytes), units.HumanBytes(tmplBytes))
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -8,6 +8,11 @@
 // Usage:
 //
 //	sweep -param walkRefCyc -values 25,50,100,150,200 -app CG -class W
+//
+// With -cache-dir, cell results are shared through the same crash-safe
+// on-disk store the simd service uses: repeated sweeps (and concurrent simd
+// or chaos -serve processes on the same directory) answer previously
+// simulated cells from disk instead of recomputing them.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"hugeomp/internal/core"
 	"hugeomp/internal/machine"
 	"hugeomp/internal/memo"
+	"hugeomp/internal/memo/diskcache"
 	"hugeomp/internal/npb"
 	"hugeomp/internal/par"
 	"hugeomp/internal/stats"
@@ -29,12 +35,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		param   = flag.String("param", "walkRefCyc", "cost parameter: walkRefCyc, memCyc, streamCyc, flushCyc or msgCyc")
-		values  = flag.String("values", "25,50,100,150,200", "comma-separated parameter values")
-		app     = flag.String("app", "CG", "benchmark")
-		class   = flag.String("class", "W", "problem class")
-		model   = flag.String("machine", "Opteron270", "platform")
-		threads = flag.Int("threads", 4, "thread count")
+		param    = flag.String("param", "walkRefCyc", "cost parameter: walkRefCyc, memCyc, streamCyc, flushCyc or msgCyc")
+		values   = flag.String("values", "25,50,100,150,200", "comma-separated parameter values")
+		app      = flag.String("app", "CG", "benchmark")
+		class    = flag.String("class", "W", "problem class")
+		model    = flag.String("machine", "Opteron270", "platform")
+		threads  = flag.Int("threads", 4, "thread count")
+		cacheDir = flag.String("cache-dir", "", "shared on-disk result cache directory (empty = memory only)")
 	)
 	flag.Parse()
 
@@ -74,6 +81,14 @@ func main() {
 		warms[p] = w
 	}
 	cache := memo.New()
+	var disk *diskcache.Store
+	if *cacheDir != "" {
+		disk, err = diskcache.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache.SetBacking(disk)
+	}
 
 	// Every cell forks an independent system, so the sweep fans out over the
 	// bounded worker pool; results come back in cell order, so the printed
@@ -87,9 +102,10 @@ func main() {
 			Model: m, Threads: *threads, Policy: policies[i%len(policies)], Class: cl,
 		}
 		// The config is the seed: the simulation is bit-deterministic, so
-		// the canonical hash of the run config keys the result completely.
+		// the canonical hash of the run config keys the result completely —
+		// npb.RunKey, the same address every other driver uses for this run.
 		var res npb.Result
-		if _, err := cache.GetOrCompute(memo.MustKey(*app, cfg), func() (any, error) {
+		if _, err := cache.GetOrCompute(npb.RunKey(*app, cfg), func() (any, error) {
 			return warms[cfg.Policy].Run(cfg)
 		}, &res); err != nil {
 			return 0, err
@@ -109,8 +125,16 @@ func main() {
 			v, s4, s2, stats.ImprovementPct(s4, s2))
 	}
 	hits, misses := cache.Stats()
-	fmt.Printf("\nmemo: %d cells, %d simulated (miss), %d deduped (hit)\n",
+	fmt.Printf("\nmemo: %d cells, %d memo misses, %d deduped (hit)\n",
 		len(vals)*len(policies), misses, hits)
+	if disk != nil {
+		// A memo miss that hit disk was computed by an earlier process (or an
+		// earlier identical sweep); disk misses were simulated here and
+		// published for the next one.
+		ds := disk.Stats()
+		fmt.Printf("disk:  %s: %d cross-process hits, %d simulated+published, %d corrupt entries skipped\n",
+			*cacheDir, ds.Hits, ds.Misses, ds.CorruptSkips)
+	}
 }
 
 func setCost(c *machine.Costs, name string, v uint64) error {

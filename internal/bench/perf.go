@@ -76,6 +76,10 @@ type SimPerf struct {
 	// cell against the warm snapshot-fork + result-memo path the sweep
 	// driver uses.
 	SnapshotFork SnapshotForkPerf `json:"snapshot_fork"`
+	// Service is the service-scale throughput section: a mixed request load
+	// replayed on a warm-restarted server over a populated shared disk cache
+	// versus a no-disk-cache single-template baseline.
+	Service ServiceThroughputPerf `json:"service_throughput"`
 	// Multicore is the CG multi-core scaling section: the class-W region
 	// simulation swept over 1/2/4/8 simulated threads with GOMAXPROCS set
 	// to min(threads, host procs), demonstrating that N simulated threads
@@ -495,6 +499,10 @@ func MeasureSimPerf(class npb.Class, apps []string) (SimPerf, error) {
 		return p, err
 	}
 
+	if p.Service, err = MeasureServiceThroughput(); err != nil {
+		return p, err
+	}
+
 	if p.Multicore, err = measureMulticore(func() npb.Kernel { return npb.NewCG() }, npb.ClassW, multicoreThreads); err != nil {
 		return p, err
 	}
@@ -546,6 +554,17 @@ const maxRandomNs = 200
 // cell. A slide below it means the fork stopped being O(metadata) (e.g. a
 // fork method started deep-copying page frames) or the memo stopped hitting.
 const minSnapshotForkSpeedup = 3.0
+
+// minServiceSpeedup is the floor RegressionCheck enforces on the
+// service-scale section: the mixed load on a warm-restarted server over a
+// populated shared disk cache must run at least this much faster than the
+// no-disk-cache single-template baseline. A slide below it means restarts
+// stopped being served from disk or the template pool stopped retaining.
+const minServiceSpeedup = 3.0
+
+// minWarmRestartHitPct is the floor on the share of warm-restart requests
+// answered from a cache layer without simulating.
+const minWarmRestartHitPct = 90.0
 
 // RegressionCheck re-measures the dense and gather fast paths and compares
 // them against the committed baseline at path, returning an error if either
@@ -601,6 +620,26 @@ func RegressionCheck(path string) (string, error) {
 	if want := uint64(sf.Configs - sf.UniqueConfigs); sf.MemoHits != want {
 		return report, fmt.Errorf("bench: memo served %d hits on the repeated sweep, want %d", sf.MemoHits, want)
 	}
+	svc, err := MeasureServiceThroughput()
+	if err != nil {
+		return report, err
+	}
+	report += fmt.Sprintf(", service warm-restart %.1fx vs single-template baseline (floor %.1fx, %.0f%% cache-answered, %d disk hits)",
+		svc.SpeedupX, minServiceSpeedup, svc.WarmRestartHitPct, svc.DiskHits)
+	if svc.SpeedupX < minServiceSpeedup {
+		return report, fmt.Errorf(
+			"bench: service throughput %.2fx < %.1fx floor over the no-disk-cache single-template baseline (disk layer cold, or template pool thrashing)",
+			svc.SpeedupX, minServiceSpeedup)
+	}
+	if svc.WarmRestartHitPct < minWarmRestartHitPct {
+		return report, fmt.Errorf(
+			"bench: warm restart answered only %.0f%% of requests from cache, floor %.0f%% (disk entries unreadable?)",
+			svc.WarmRestartHitPct, minWarmRestartHitPct)
+	}
+	if svc.DiskMisses != 0 {
+		return report, fmt.Errorf(
+			"bench: warm restart missed disk %d times on a fully populated cache", svc.DiskMisses)
+	}
 	if host := runtime.NumCPU(); host >= 4 {
 		pts, err := measureMulticore(func() npb.Kernel { return npb.NewCG() }, npb.ClassW, []int{1, 4})
 		if err != nil {
@@ -645,6 +684,13 @@ func FormatSimPerf(p SimPerf) string {
 			p.SnapshotFork.Configs, p.SnapshotFork.UniqueConfigs,
 			p.SnapshotFork.ColdSeconds, p.SnapshotFork.ForkSeconds,
 			p.SnapshotFork.SpeedupX, p.SnapshotFork.MemoHits)
+	}
+	if p.Service.Requests > 0 {
+		s += fmt.Sprintf("; service: %d mixed requests (%d unique) warm-restart %.2fs (%.0f req/s, %.0f%% cache-answered, %d disk hits) vs baseline %.2fs (%.0f req/s) = %.1fx",
+			p.Service.Requests, p.Service.UniqueConfigs,
+			p.Service.ServiceSeconds, p.Service.ServiceRPS,
+			p.Service.WarmRestartHitPct, p.Service.DiskHits,
+			p.Service.BaselineSeconds, p.Service.BaselineRPS, p.Service.SpeedupX)
 	}
 	s += formatMulticore("CG", p.Multicore)
 	s += formatMulticore("MG", p.MulticoreMG)

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"hugeomp/internal/core"
+	"hugeomp/internal/machine"
+	"hugeomp/internal/npb"
+	"hugeomp/internal/omp"
+	"hugeomp/internal/simsrv"
+)
+
+// ServiceThroughputPerf is the service-scale section of BENCH_simulator.json:
+// a mixed request load (repeated visits to a small config grid — the shape of
+// clients exploring a parameter space) replayed against a warm-restarted
+// simd server on a populated shared disk cache, versus the same load on a
+// baseline server with no disk cache and a single-template pool. The warm
+// service answers from the cache layers without simulating or rebuilding
+// templates; the baseline simulates every unique cell and rebuilds templates
+// as the load cycles its one resident — so the ratio measures exactly what
+// the persistent cache plus warmed-template pool buy a service restart.
+type ServiceThroughputPerf struct {
+	// Requests is the replayed mixed load; UniqueConfigs of them are
+	// distinct (kernel × policy × threads cells of the grid).
+	Requests      int `json:"requests"`
+	UniqueConfigs int `json:"unique_configs"`
+	// PopulateSeconds ran the unique cells once on the first server — the
+	// cost a restart never pays again.
+	PopulateSeconds float64 `json:"populate_seconds"`
+	// ServiceSeconds / ServiceRPS replay the load on a restarted server
+	// sharing the first server's cache directory.
+	ServiceSeconds float64 `json:"service_seconds"`
+	ServiceRPS     float64 `json:"service_rps"`
+	// BaselineSeconds / BaselineRPS replay the load on a no-disk-cache
+	// server whose template budget fits one template.
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	BaselineRPS     float64 `json:"baseline_rps"`
+	// SpeedupX is BaselineSeconds / ServiceSeconds (guarded by make bench).
+	SpeedupX float64 `json:"speedup_x"`
+	// WarmRestartHitPct is the share of replayed requests the restarted
+	// server answered from a cache layer (memo or disk) without simulating.
+	WarmRestartHitPct float64 `json:"warm_restart_hit_pct"`
+	// DiskHits / DiskMisses are the restarted server's disk-layer traffic:
+	// hits refill the fresh memo cross-process, misses would be simulations.
+	DiskHits   uint64 `json:"disk_hits"`
+	DiskMisses uint64 `json:"disk_misses"`
+	// BaselineTemplateBuilds counts the baseline's cold template
+	// constructions as the load cycled its single-resident pool.
+	BaselineTemplateBuilds uint64 `json:"baseline_template_builds"`
+	// Note records why a floor was skipped, when it was.
+	Note string `json:"note,omitempty"`
+}
+
+// serviceGrid is the mixed load: every (kernel, policy, threads) cell of a
+// small grid at class T on the paper's Opteron, visited `repeats` times in a
+// deterministically shuffled order.
+func serviceGrid(repeats int) (reqs []simsrv.Request, unique int) {
+	var grid []simsrv.Request
+	for _, kernel := range []string{"CG", "MG"} {
+		for _, policy := range []string{"4KB", "2MB"} {
+			for _, threads := range []int{1, 2} {
+				grid = append(grid, simsrv.Request{
+					Kernel: kernel, Class: "T", Model: "Opteron270",
+					Threads: threads, Policy: policy,
+				})
+			}
+		}
+	}
+	for r := 0; r < repeats; r++ {
+		reqs = append(reqs, grid...)
+	}
+	// LCG shuffle: same mixed order every run, so trajectories compare.
+	seed := uint64(0x5eed)
+	for i := len(reqs) - 1; i > 0; i-- {
+		seed = randomSeedStep(seed)
+		j := int(seed>>33) % (i + 1)
+		reqs[i], reqs[j] = reqs[j], reqs[i]
+	}
+	return reqs, len(grid)
+}
+
+// driveService posts each request to the server's handler in-process (no
+// sockets — the measurement is the service stack, not the loopback) and
+// returns the wall time plus how many answers came from a cache layer and
+// the first answer's compacted result bytes for the ground-truth check.
+func driveService(s *simsrv.Server, reqs []simsrv.Request) (wall float64, cached int, sample []byte, err error) {
+	h := s.Handler()
+	start := time.Now()
+	for i, req := range reqs {
+		body, merr := json.Marshal(req)
+		if merr != nil {
+			return 0, 0, nil, merr
+		}
+		r := httptest.NewRequest("POST", "/run", bytes.NewReader(body))
+		r.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != 200 {
+			return 0, 0, nil, fmt.Errorf("bench: service answered %d: %s", w.Code, w.Body.String())
+		}
+		var resp struct {
+			Cached bool            `json:"cached"`
+			Result json.RawMessage `json:"result"`
+		}
+		if derr := json.Unmarshal(w.Body.Bytes(), &resp); derr != nil {
+			return 0, 0, nil, derr
+		}
+		if resp.Cached {
+			cached++
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			if cerr := json.Compact(&buf, resp.Result); cerr != nil {
+				return 0, 0, nil, cerr
+			}
+			sample = buf.Bytes()
+		}
+	}
+	return time.Since(start).Seconds(), cached, sample, nil
+}
+
+// MeasureServiceThroughput runs the service-scale comparison. The disk cache
+// lives in a throwaway directory for the measurement's lifetime.
+func MeasureServiceThroughput() (ServiceThroughputPerf, error) {
+	const repeats = 4
+	reqs, unique := serviceGrid(repeats)
+	p := ServiceThroughputPerf{Requests: len(reqs), UniqueConfigs: unique}
+
+	dir, err := os.MkdirTemp("", "hugeomp-bench-cache-*")
+	if err != nil {
+		return p, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Phase 1: populate. A first server computes each unique cell once —
+	// the sweep, soak or prior service life that filled the shared cache.
+	populate, err := simsrv.NewServer(simsrv.Config{CacheDir: dir})
+	if err != nil {
+		return p, err
+	}
+	start := time.Now()
+	var uniq []simsrv.Request
+	seen := map[string]bool{}
+	for _, r := range reqs {
+		k := fmt.Sprintf("%s/%s/%d", r.Kernel, r.Policy, r.Threads)
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, r)
+		}
+	}
+	if _, _, _, err := driveService(populate, uniq); err != nil {
+		return p, err
+	}
+	p.PopulateSeconds = time.Since(start).Seconds()
+	populate.Drain()
+	populate.Close()
+
+	// Phase 2: warm restart. A fresh server — empty memo, empty template
+	// pool, same directory — replays the whole mixed load.
+	restarted, err := simsrv.NewServer(simsrv.Config{CacheDir: dir})
+	if err != nil {
+		return p, err
+	}
+	wall, cachedN, sample, err := driveService(restarted, reqs)
+	if err != nil {
+		return p, err
+	}
+	p.ServiceSeconds = wall
+	if wall > 0 {
+		p.ServiceRPS = float64(len(reqs)) / wall
+	}
+	p.WarmRestartHitPct = 100 * float64(cachedN) / float64(len(reqs))
+	g := restarted.Gauges()
+	p.DiskHits, p.DiskMisses = g.DiskHits, g.DiskMisses
+	restarted.Drain()
+	restarted.Close()
+
+	// Ground truth: the first replayed answer must equal a cold npb.Run of
+	// the same configuration bit-for-bit — a cache hit is indistinguishable
+	// from a re-run or the disk layer has no business existing.
+	if err := checkServiceSample(reqs[0], sample); err != nil {
+		return p, err
+	}
+
+	// Phase 3: baseline. No disk cache, a template budget that fits one
+	// template — the pool never evicts its most recent resident, so this is
+	// the single-template server the tentpole replaced.
+	baseline, err := simsrv.NewServer(simsrv.Config{
+		TemplateBudget: npb.TemplateBytes(npb.ClassT),
+	})
+	if err != nil {
+		return p, err
+	}
+	wall, _, _, err = driveService(baseline, reqs)
+	if err != nil {
+		return p, err
+	}
+	p.BaselineSeconds = wall
+	if wall > 0 {
+		p.BaselineRPS = float64(len(reqs)) / wall
+	}
+	bg := baseline.Gauges()
+	p.BaselineTemplateBuilds = bg.TemplateBuilds
+	baseline.Drain()
+	baseline.Close()
+
+	if p.ServiceSeconds > 0 {
+		p.SpeedupX = p.BaselineSeconds / p.ServiceSeconds
+	}
+	return p, nil
+}
+
+// checkServiceSample recomputes req cold — fresh system, no caches — and
+// compares the compacted result JSON against what the service answered.
+func checkServiceSample(req simsrv.Request, served []byte) error {
+	k, err := npb.New(req.Kernel)
+	if err != nil {
+		return err
+	}
+	model, ok := machine.ModelByName(req.Model)
+	if !ok {
+		return fmt.Errorf("bench: unknown model %q", req.Model)
+	}
+	class, err := npb.ParseClass(req.Class)
+	if err != nil {
+		return err
+	}
+	cfg := npb.RunConfig{
+		Model: model, Threads: req.Threads, Class: class,
+		Sharing: machine.SharePartition, Barrier: omp.TreeBarrier,
+	}
+	switch req.Policy {
+	case "2MB":
+		cfg.Policy = core.Policy2M
+	default:
+		cfg.Policy = core.Policy4K
+	}
+	cold, err := npb.Run(k, cfg)
+	if err != nil {
+		return err
+	}
+	cb, err := json.Marshal(cold)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(cb, served) {
+		return fmt.Errorf("bench: served result differs from cold npb.Run:\ncold:   %s\nserved: %s", cb, served)
+	}
+	return nil
+}

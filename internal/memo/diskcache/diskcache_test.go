@@ -1,0 +1,332 @@
+package diskcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hugeomp/internal/memo"
+)
+
+func openTest(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.poll = time.Millisecond
+	return s
+}
+
+const key = "0f1e2d3c4b5a69788796a5b4c3d2e1f00f1e2d3c4b5a69788796a5b4c3d2e1f0"
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t)
+	payload := []byte(`{"cycles":12345}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	// A second handle on the same directory — another process — sees it.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = s2.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("cross-handle Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 write", st)
+	}
+}
+
+// TestCorruptEntriesReadAsMisses: every way an entry can rot — torn write
+// (truncation, including inside the header), bit flip in the payload, bit
+// flip in the header, foreign format version, foreign garbage — reads as a
+// miss, never a panic or an error, and the rotten file is collected.
+func TestCorruptEntriesReadAsMisses(t *testing.T) {
+	payload := []byte(`{"kernel":"CG","cycles":987654321,"pad":"xxxxxxxxxxxxxxxx"}`)
+	cases := []struct {
+		name  string
+		mutat func(raw []byte) []byte
+		stale bool
+	}{
+		{"truncated-payload", func(raw []byte) []byte { return raw[:len(raw)-7] }, false},
+		{"truncated-header", func(raw []byte) []byte { return raw[:headerSize/2] }, false},
+		{"empty", func(raw []byte) []byte { return nil }, false},
+		{"payload-bit-flip", func(raw []byte) []byte { raw[headerSize+3] ^= 0x40; return raw }, false},
+		{"checksum-bit-flip", func(raw []byte) []byte { raw[20] ^= 0x01; return raw }, false},
+		{"length-lie", func(raw []byte) []byte { binary.LittleEndian.PutUint64(raw[8:16], 3); return raw }, false},
+		{"bad-magic", func(raw []byte) []byte { raw[0] = 'X'; return raw }, false},
+		{"foreign-version", func(raw []byte) []byte {
+			binary.LittleEndian.PutUint32(raw[4:8], FormatVersion+7)
+			return raw
+		}, true},
+		{"garbage", func(raw []byte) []byte { return []byte("not an entry at all, just bytes") }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openTest(t)
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := s.entryPath(key)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mutat(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", got)
+			}
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Error("corrupt entry not garbage-collected")
+			}
+			st := s.Stats()
+			if tc.stale {
+				if st.StaleVersions != 1 {
+					t.Errorf("stale versions = %d, want 1 (%+v)", st.StaleVersions, st)
+				}
+			} else if st.CorruptSkips != 1 {
+				t.Errorf("corrupt skips = %d, want 1 (%+v)", st.CorruptSkips, st)
+			}
+			// The key is computable again after collection.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("re-put after GC: Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestGetOrComputeSingleFlightAcrossHandles: two handles on one directory —
+// standing in for two processes — running many concurrent GetOrCompute calls
+// over a shared key space compute each key exactly once.
+func TestGetOrComputeSingleFlightAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.poll, b.poll = time.Millisecond, time.Millisecond
+
+	const keys = 4
+	const callers = 8
+	var computes [keys]atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		s := a
+		if c%2 == 1 {
+			s = b
+		}
+		wg.Add(1)
+		go func(s *Store, c int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				want := fmt.Sprintf(`{"k":%d}`, k)
+				got, err := s.GetOrCompute(testKey(k), func() ([]byte, error) {
+					computes[k].Add(1)
+					time.Sleep(2 * time.Millisecond) // widen the race window
+					return []byte(want), nil
+				})
+				if err != nil {
+					t.Errorf("caller %d key %d: %v", c, k, err)
+					return
+				}
+				if string(got) != want {
+					t.Errorf("caller %d key %d: got %q want %q", c, k, got, want)
+				}
+			}
+		}(s, c)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if n := computes[k].Load(); n != 1 {
+			t.Errorf("key %d computed %d times, want exactly 1", k, n)
+		}
+	}
+}
+
+// TestLeaderAbortDoesNotDeadlock: a leader whose compute fails releases its
+// lock without publishing, a concurrent waiter on another handle promotes
+// itself and computes, and the key ends up cached — no deadlock, no lost
+// result.
+func TestLeaderAbortDoesNotDeadlock(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.poll, b.poll = time.Millisecond, time.Millisecond
+
+	leaderIn := make(chan struct{})
+	aborted := errors.New("leader aborted")
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.GetOrCompute(key, func() ([]byte, error) {
+			close(leaderIn)
+			time.Sleep(5 * time.Millisecond) // hold the lock while the waiter arrives
+			return nil, aborted
+		})
+		done <- err
+	}()
+	<-leaderIn
+	got, err := b.GetOrCompute(key, func() ([]byte, error) {
+		return []byte("from-waiter"), nil
+	})
+	if err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+	if string(got) != "from-waiter" {
+		t.Fatalf("waiter got %q", got)
+	}
+	if err := <-done; !errors.Is(err, aborted) {
+		t.Fatalf("leader error = %v, want its own abort", err)
+	}
+	// The waiter published, so a third read hits.
+	if cached, ok := a.Get(key); !ok || string(cached) != "from-waiter" {
+		t.Fatalf("after abort+retry: Get = %q, %v", cached, ok)
+	}
+	if _, err := os.Stat(a.lockPath(key)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("lock file leaked")
+	}
+}
+
+// TestStaleLockIsStolen: a lock whose holder died (mtime past the TTL) is
+// broken by a waiter instead of deadlocking it.
+func TestStaleLockIsStolen(t *testing.T) {
+	s := openTest(t)
+	s.lockTTL = 10 * time.Millisecond
+	// Fake a dead leader: create the lock by hand and never release it.
+	if ok, err := s.tryLock(key); err != nil || !ok {
+		t.Fatalf("tryLock = %v, %v", ok, err)
+	}
+	old := time.Now().Add(-time.Second)
+	if err := os.Chtimes(s.lockPath(key), old, old); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetOrCompute(key, func() ([]byte, error) {
+		return []byte("stolen"), nil
+	})
+	if err != nil || string(got) != "stolen" {
+		t.Fatalf("GetOrCompute after steal = %q, %v", got, err)
+	}
+	if st := s.Stats(); st.Steals != 1 {
+		t.Errorf("steals = %d, want 1 (%+v)", st.Steals, st)
+	}
+}
+
+// TestUnusableDirectoryDegrades: a store whose directory cannot host files
+// still answers — compute runs uncoordinated and the failure is counted.
+func TestUnusableDirectoryDegrades(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "gone")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the directory with a file so MkdirAll fails too.
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetOrCompute(key, func() ([]byte, error) {
+		return []byte("computed"), nil
+	})
+	if err != nil || string(got) != "computed" {
+		t.Fatalf("GetOrCompute = %q, %v", got, err)
+	}
+	if st := s.Stats(); st.WriteErrors == 0 {
+		t.Errorf("write errors = 0, want > 0 (%+v)", st)
+	}
+}
+
+// TestHostileKeysStayInside: keys that are not canonical hex are re-hashed,
+// so they cannot traverse outside the cache directory.
+func TestHostileKeysStayInside(t *testing.T) {
+	s := openTest(t)
+	for _, k := range []string{"../../etc/passwd", "a/b", "", "UPPER", "short"} {
+		if err := s.Put(k, []byte("v")); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+		got, ok := s.Get(k)
+		if !ok || string(got) != "v" {
+			t.Fatalf("Get(%q) = %q, %v", k, got, ok)
+		}
+		rel, err := filepath.Rel(s.Dir(), s.entryPath(k))
+		if err != nil || rel == ".." || filepath.IsAbs(rel) || len(rel) > 0 && rel[0] == '.' && rel[1] == '.' {
+			t.Fatalf("entryPath(%q) escapes: %q", k, s.entryPath(k))
+		}
+	}
+}
+
+func testKey(k int) string {
+	return fmt.Sprintf("%064x", 0xabc0+k)
+}
+
+// TestLayeredWarmRestart pairs the real memo.Cache with the disk layer: a
+// first process computes and publishes, a "restarted" process (fresh memo,
+// same directory) serves the same key from disk without computing.
+func TestLayeredWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := memo.New()
+	c1.SetBacking(s1)
+	type result struct{ Cycles uint64 }
+	var v result
+	if hit, err := c1.GetOrCompute(key, func() (any, error) { return result{77}, nil }, &v); err != nil || hit {
+		t.Fatalf("first compute: hit=%v err=%v", hit, err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := memo.New()
+	c2.SetBacking(s2)
+	v = result{}
+	hit, err := c2.GetOrCompute(key, func() (any, error) {
+		t.Error("compute ran on warm restart")
+		return nil, errors.New("unreachable")
+	}, &v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || v.Cycles != 77 {
+		t.Fatalf("warm restart: hit=%v v=%+v", hit, v)
+	}
+	if st := s2.Stats(); st.Hits != 1 {
+		t.Errorf("disk hits = %d, want 1 (%+v)", st.Hits, st)
+	}
+}

@@ -26,13 +26,22 @@ import (
 	"sync/atomic"
 )
 
-// KeyOf returns the canonical hash of the given parts: SHA-256 over their
-// JSON encodings in order. encoding/json writes struct fields in declared
-// order and sorts map keys, so two structurally equal values always produce
-// the same key. Parts that cannot be encoded (channels, funcs) are a caller
-// bug and return an error.
+// SchemaVersion is the result-format generation folded into every canonical
+// key. Bump it whenever the encoding of memoized results changes shape or
+// meaning: the hash of every (config, seed) point changes with it, so a
+// persistent store (internal/memo/diskcache) populated by an older binary can
+// never be decoded as fresh — its stale entries become unreachable and are
+// garbage-collected by the disk layer's own header check.
+const SchemaVersion = 2
+
+// KeyOf returns the canonical hash of the given parts: SHA-256 over the
+// schema version followed by their JSON encodings in order. encoding/json
+// writes struct fields in declared order and sorts map keys, so two
+// structurally equal values always produce the same key. Parts that cannot
+// be encoded (channels, funcs) are a caller bug and return an error.
 func KeyOf(parts ...any) (string, error) {
 	h := sha256.New()
+	fmt.Fprintf(h, "memo/schema/%d\n", SchemaVersion)
 	enc := json.NewEncoder(h)
 	for i, p := range parts {
 		if err := enc.Encode(p); err != nil {
@@ -55,11 +64,23 @@ func MustKey(parts ...any) string {
 // first caller computes, concurrent callers with the same key block on the
 // same once and then decode the stored bytes — so a sweep whose grid repeats
 // a (config, seed) point simulates it exactly once even under internal/par.
+// backed records that the flight was answered by the backing store without
+// running compute (a cross-process hit).
 type entry struct {
-	key  string
-	once sync.Once
-	data []byte
-	err  error
+	key    string
+	once   sync.Once
+	data   []byte
+	err    error
+	backed bool
+}
+
+// Backing is an optional second-level store consulted when the in-memory
+// layer misses: typically internal/memo/diskcache, shared across processes.
+// GetOrCompute must return the bytes stored under key, running compute — at
+// most once per key across every cooperating process — only when the store
+// has none, and must not store anything when compute fails.
+type Backing interface {
+	GetOrCompute(key string, compute func() ([]byte, error)) ([]byte, error)
 }
 
 // cacheStats counts hits, misses and evictions on a padded line so
@@ -81,6 +102,7 @@ type Cache struct {
 	entries  map[string]*entry
 	order    []*entry // insertion order; only maintained when bounded
 	capacity int      // 0 = unbounded
+	backing  Backing  // optional L2; nil = memory only
 	stats    cacheStats
 }
 
@@ -104,16 +126,26 @@ func NewBounded(capacity int) *Cache {
 	return c
 }
 
+// SetBacking layers a second-level store under the in-memory cache: misses
+// consult it before computing, computed results are published to it, and a
+// backing hit counts as cached for the caller (the returned bool) without
+// touching the in-memory hit/miss stats, which stay a statement about this
+// process. Call before the cache is shared; not safe concurrently with
+// GetOrCompute.
+func (c *Cache) SetBacking(b Backing) { c.backing = b }
+
 // GetOrCompute returns the result stored under key, computing and storing it
 // on first use. compute's result is encoded to canonical JSON at store time
 // and decoded into out (a non-nil pointer) on every return, hit or miss —
 // so callers always observe the round-tripped value and a hit can never leak
 // shared mutable state from the computing run. The returned bool reports
-// whether the result came from the cache (true) or compute ran (false).
+// whether the result came from a cache layer — this process's memory or the
+// backing store (true) — or compute ran (false).
 //
 // If compute fails, every caller collapsed onto that flight observes its
 // error and the key is forgotten, so a later identical request retries
-// instead of replaying a stale failure.
+// instead of replaying a stale failure. Nothing is published to the backing
+// store on failure either, so the key stays retryable across processes.
 func (c *Cache) GetOrCompute(key string, compute func() (any, error), out any) (bool, error) {
 	c.mu.Lock()
 	e, hit := c.entries[key]
@@ -132,6 +164,19 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, error), out any) (
 		c.stats.misses.Add(1)
 	}
 	e.once.Do(func() {
+		if c.backing != nil {
+			computed := false
+			e.data, e.err = c.backing.GetOrCompute(e.key, func() ([]byte, error) {
+				computed = true
+				v, err := compute()
+				if err != nil {
+					return nil, err
+				}
+				return json.Marshal(v)
+			})
+			e.backed = e.err == nil && !computed
+			return
+		}
 		v, err := compute()
 		if err != nil {
 			e.err = err
@@ -146,7 +191,7 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, error), out any) (
 	if err := json.Unmarshal(e.data, out); err != nil {
 		return hit, fmt.Errorf("memo: decode %s: %w", key[:8], err)
 	}
-	return hit, nil
+	return hit || e.backed, nil
 }
 
 // evictLocked trims the cache back to capacity, oldest insertion first. Order

@@ -1,7 +1,11 @@
 package memo
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -237,5 +241,110 @@ func TestGetOrComputeSingleFlight(t *testing.T) {
 	}
 	if hits, misses := c.Stats(); hits+misses != workers || misses < 1 {
 		t.Errorf("stats = (%d, %d), want %d total with >= 1 miss", hits, misses, workers)
+	}
+}
+
+// fakeBacking is an in-memory stand-in for the disk layer.
+type fakeBacking struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	hits    int
+}
+
+func newFakeBacking() *fakeBacking { return &fakeBacking{entries: map[string][]byte{}} }
+
+func (f *fakeBacking) GetOrCompute(key string, compute func() ([]byte, error)) ([]byte, error) {
+	f.mu.Lock()
+	data, ok := f.entries[key]
+	if ok {
+		f.hits++
+	}
+	f.mu.Unlock()
+	if ok {
+		return data, nil
+	}
+	data, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.entries[key] = data
+	f.mu.Unlock()
+	return data, nil
+}
+
+// TestSchemaVersionFolded pins the key recipe: the schema-version line is
+// hashed ahead of the parts, so bumping SchemaVersion reshuffles every key
+// and a persistent store can never serve an old-format entry to new code.
+func TestSchemaVersionFolded(t *testing.T) {
+	h := sha256.New()
+	fmt.Fprintf(h, "memo/schema/%d\n", SchemaVersion)
+	if err := json.NewEncoder(h).Encode("probe"); err != nil {
+		t.Fatal(err)
+	}
+	want := hex.EncodeToString(h.Sum(nil))
+	if got := MustKey("probe"); got != want {
+		t.Errorf("KeyOf does not fold the schema version:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestBackingServesCrossProcessHits: a value published through one cache is
+// served to a fresh cache (a restarted process) from the shared backing,
+// without running compute, and reported as cached.
+func TestBackingServesCrossProcessHits(t *testing.T) {
+	b := newFakeBacking()
+	c1 := New()
+	c1.SetBacking(b)
+	var v int
+	hit, err := c1.GetOrCompute("k", func() (any, error) { return 7, nil }, &v)
+	if err != nil || hit || v != 7 {
+		t.Fatalf("first compute: hit=%v v=%d err=%v", hit, v, err)
+	}
+	c2 := New() // restart: empty memory, same backing
+	c2.SetBacking(b)
+	ran := false
+	v = 0
+	hit, err = c2.GetOrCompute("k", func() (any, error) { ran = true; return 0, nil }, &v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("compute ran despite a backing hit")
+	}
+	if !hit {
+		t.Error("backing hit not reported as cached")
+	}
+	if v != 7 {
+		t.Errorf("decoded %d from backing, want 7", v)
+	}
+	if b.hits != 1 {
+		t.Errorf("backing hits = %d, want 1", b.hits)
+	}
+	// A second call on c2 is a pure memory hit: the backing is not touched.
+	if hit, _ = c2.GetOrCompute("k", func() (any, error) { return 0, nil }, &v); !hit || b.hits != 1 {
+		t.Errorf("memory layer did not absorb the repeat (hit=%v backing hits=%d)", hit, b.hits)
+	}
+}
+
+// TestBackingErrorNotPublished: a failed compute publishes nothing to the
+// backing store and stays retryable.
+func TestBackingErrorNotPublished(t *testing.T) {
+	b := newFakeBacking()
+	c := New()
+	c.SetBacking(b)
+	boom := errors.New("boom")
+	var v int
+	if _, err := c.GetOrCompute("k", func() (any, error) { return nil, boom }, &v); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(b.entries) != 0 {
+		t.Error("failed compute reached the backing store")
+	}
+	hit, err := c.GetOrCompute("k", func() (any, error) { return 5, nil }, &v)
+	if err != nil || hit || v != 5 {
+		t.Errorf("retry after failure: hit=%v v=%d err=%v", hit, v, err)
+	}
+	if len(b.entries) != 1 {
+		t.Error("successful retry not published")
 	}
 }

@@ -1,0 +1,36 @@
+package npb
+
+import (
+	"hugeomp/internal/memo"
+	"hugeomp/internal/units"
+)
+
+// RunKey returns the canonical content key of one simulated run: the
+// memo-schema-versioned SHA-256 over the kernel name and the full run config
+// (model cost tables included, request plumbing like Ctx excluded by its
+// json:"-" tag). Every driver that shares results — cmd/sweep, cmd/simd via
+// internal/simsrv, the bench harness — keys with this function, so a result
+// computed by one process is addressable by all the others through a shared
+// disk cache.
+func RunKey(kernel string, cfg RunConfig) string {
+	return memo.MustKey("npb/run", kernel, cfg)
+}
+
+// TemplateBytes estimates the resident host footprint of one warm template
+// (npb.Warm) for class c: the snapshot pins the full shared region's backing
+// arrays for the life of the template, plus page-table, cache and hugetlbfs
+// metadata. The estimate is deliberately simple and slightly conservative —
+// it prices admission and pool budgets, it does not account allocations.
+func TemplateBytes(c Class) int64 {
+	return sharedBytesFor(c) + 8*units.MB
+}
+
+// ForkBytes estimates the transient host footprint of one forked session for
+// class c: kernels fork only their mutable arrays (roughly a quarter of the
+// shared region; read-only statics such as CG's sparse matrix stay shared
+// with the template through the COW snapshot) plus runtime metadata — forked
+// page-table nodes, per-context TLBs and caches, profile counters. Like
+// TemplateBytes, a deliberate estimate for budget charging, not an account.
+func ForkBytes(c Class) int64 {
+	return sharedBytesFor(c)/4 + 2*units.MB
+}

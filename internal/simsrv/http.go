@@ -117,6 +117,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	type stats struct {
 		Counters Counters `json:"counters"`
+		Gauges   Gauges   `json:"gauges"`
 		Workers  int      `json:"workers"`
 		QueueCap int      `json:"queue_cap"`
 		Queued   int      `json:"queued"`
@@ -125,6 +126,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, stats{
 		Counters: s.Counters(),
+		Gauges:   s.Gauges(),
 		Workers:  s.pool.Workers(),
 		QueueCap: s.pool.QueueCap(),
 		Queued:   s.pool.Queued(),

@@ -6,7 +6,6 @@ import (
 
 	"hugeomp/internal/core"
 	"hugeomp/internal/machine"
-	"hugeomp/internal/memo"
 	"hugeomp/internal/npb"
 	"hugeomp/internal/omp"
 )
@@ -116,8 +115,10 @@ func (s *Server) compile(req *Request) (npb.RunConfig, string, error) {
 	}
 	// RunConfig.Ctx carries json:"-", so the key covers exactly the
 	// simulated configuration: a retry with a different deadline, or a
-	// duplicate from another client, lands on the same content address.
-	return cfg, memo.MustKey("simd/run/v1", req.Kernel, cfg), nil
+	// duplicate from another client, lands on the same content address —
+	// and, through npb.RunKey, the same address every other driver (sweep,
+	// bench, another simd) uses for the same run.
+	return cfg, npb.RunKey(req.Kernel, cfg), nil
 }
 
 // budget computes the request's deadline budget under the server cap.

@@ -1,0 +1,143 @@
+package simsrv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hugeomp/internal/omp"
+)
+
+// sched is the footprint-aware admission layer in front of the worker pool:
+// where par.Pool hands out first-come slots, sched packs sessions under a
+// global memory budget. Every session is charged an estimated fork footprint
+// (npb.ForkBytes: class-dependent mutable-array bytes plus metadata) before
+// it may occupy a worker; sessions that would overflow the budget wait in
+// FIFO order — spending their own deadline budget, never the server's — and
+// a bounded number of waiters turns further arrivals into ErrSaturated
+// (429). Requests answerable from a cache layer never reach the scheduler at
+// all: the memo and disk lookups run before dispatch, so under saturation
+// the service keeps serving exactly the cache-hit-likely traffic while
+// compute-bound requests queue.
+//
+// One deliberate asymmetry: a request whose footprint alone exceeds the
+// budget is admitted when the scheduler is idle (nothing charged). The
+// budget bounds concurrent packing; it must not make a large class
+// permanently unservable.
+type sched struct {
+	budget   int64 // bytes; 0 = unbounded
+	maxQueue int   // bound on waiting sessions
+
+	mu      sync.Mutex
+	charged int64
+	running int
+	waiters []*schedWaiter
+
+	budgetWaits   atomic.Uint64
+	budgetRejects atomic.Uint64
+	peakCharged   atomic.Int64
+}
+
+type schedWaiter struct {
+	est   int64
+	ready chan struct{} // closed by release once the waiter's charge is applied
+}
+
+func newSched(budget int64, maxQueue int) *sched {
+	if maxQueue <= 0 {
+		maxQueue = 16
+	}
+	return &sched{budget: budget, maxQueue: maxQueue}
+}
+
+// fitsLocked reports whether charging est more bytes respects the budget.
+// An idle scheduler always fits (see the type comment).
+func (s *sched) fitsLocked(est int64) bool {
+	if s.budget <= 0 || s.charged == 0 {
+		return true
+	}
+	return s.charged+est <= s.budget
+}
+
+func (s *sched) chargeLocked(est int64) {
+	s.charged += est
+	s.running++
+	if s.charged > s.peakCharged.Load() {
+		s.peakCharged.Store(s.charged)
+	}
+}
+
+// acquire charges est bytes against the budget, waiting — under ctx's
+// deadline — for running sessions to release enough. FIFO: a small request
+// does not overtake a large one (no starvation of big classes). Returns
+// ErrSaturated when the waiter queue is full, and an omp.ErrAborted-wrapping
+// error when ctx dies first, so the HTTP layer maps the outcome onto the
+// same 429/504 vocabulary as the worker pool.
+func (s *sched) acquire(ctx context.Context, est int64) error {
+	s.mu.Lock()
+	if s.fitsLocked(est) {
+		s.chargeLocked(est)
+		s.mu.Unlock()
+		return nil
+	}
+	if len(s.waiters) >= s.maxQueue {
+		s.mu.Unlock()
+		s.budgetRejects.Add(1)
+		return ErrSaturated
+	}
+	w := &schedWaiter{est: est, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	s.budgetWaits.Add(1)
+
+	select {
+	case <-w.ready:
+		return nil // release already charged us
+	case <-ctx.Done():
+		s.mu.Lock()
+		removed := s.removeWaiterLocked(w)
+		s.mu.Unlock()
+		if !removed {
+			// Granted concurrently with the abort: we own a charge we will
+			// never use. Hand it back (this also wakes the next waiter).
+			s.release(est)
+		}
+		return fmt.Errorf("%w: deadline spent waiting for footprint budget: %v", omp.ErrAborted, ctx.Err())
+	}
+}
+
+func (s *sched) removeWaiterLocked(w *schedWaiter) bool {
+	for i, x := range s.waiters {
+		if x == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// release returns est charged bytes and admits, in FIFO order, every waiter
+// the freed budget now fits.
+func (s *sched) release(est int64) {
+	s.mu.Lock()
+	s.charged -= est
+	s.running--
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if !s.fitsLocked(w.est) {
+			break
+		}
+		s.chargeLocked(w.est)
+		s.waiters = s.waiters[1:]
+		close(w.ready)
+	}
+	s.mu.Unlock()
+}
+
+// snapshot returns the scheduler's gauges.
+func (s *sched) snapshot() (queued, running int, charged int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters), s.running, s.charged
+}

@@ -19,7 +19,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := NewServer(cfg)
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -375,7 +378,10 @@ func TestServerSmoke(t *testing.T) {
 
 // TestBudgetCap: the server cap binds client budgets.
 func TestBudgetCap(t *testing.T) {
-	s := NewServer(Config{MaxDeadline: time.Second, DefaultDeadline: 500 * time.Millisecond})
+	s, err := NewServer(Config{MaxDeadline: time.Second, DefaultDeadline: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	if d := s.budget(&Request{}); d != 500*time.Millisecond {
 		t.Errorf("default budget = %s", d)
@@ -401,10 +407,11 @@ func TestTemplateReuse(t *testing.T) {
 			t.Fatalf("%+v: %d %s", req, resp.StatusCode, body)
 		}
 	}
-	s.mu.Lock()
-	n := len(s.tmpls)
-	s.mu.Unlock()
+	n, _, _, builds := s.tmpls.snapshot()
 	if n != 1 {
 		t.Errorf("%d templates for fork-free variations, want 1", n)
+	}
+	if builds != 1 {
+		t.Errorf("%d template builds for fork-free variations, want 1", builds)
 	}
 }

@@ -50,6 +50,16 @@ func (s *Server) dispatch(ctx context.Context, cfg npb.RunConfig, kernel, inject
 		res npb.Result
 		err error
 	}
+	// Charge the session's estimated footprint before it may occupy a
+	// worker: the scheduler packs concurrent sessions under the global
+	// memory budget, blocking on the request's own deadline budget when the
+	// server is footprint-saturated. Cache hits never reach this point.
+	est := npb.ForkBytes(cfg.Class)
+	if err := s.sched.acquire(ctx, est); err != nil {
+		return npb.Result{}, err
+	}
+	defer s.sched.release(est)
+
 	done := make(chan outcome, 1)
 	err := s.pool.Submit(func() {
 		res, err := s.session(ctx, cfg, kernel, inject)

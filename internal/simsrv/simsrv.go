@@ -32,12 +32,12 @@ package simsrv
 
 import (
 	"errors"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"hugeomp/internal/core"
 	"hugeomp/internal/memo"
+	"hugeomp/internal/memo/diskcache"
 	"hugeomp/internal/npb"
 	"hugeomp/internal/par"
 )
@@ -71,6 +71,22 @@ type Config struct {
 	AllowInject bool
 	// MaxBodyBytes bounds a request body; 0 = 1 MiB.
 	MaxBodyBytes int64
+	// CacheDir, when non-empty, backs the result memo with the crash-safe
+	// shared on-disk store at that path (internal/memo/diskcache): results
+	// survive restarts and are shared with every process — sweeps, soaks,
+	// other simd instances — pointed at the same directory.
+	CacheDir string
+	// MemBudget bounds the summed estimated footprint (npb.ForkBytes) of
+	// concurrently admitted sessions, in bytes; 0 = unbounded. Sessions that
+	// would overflow it wait FIFO on their own deadline budget.
+	MemBudget int64
+	// TemplateBudget bounds the warmed-template pool's resident bytes
+	// (npb.TemplateBytes per template); 0 = unbounded. Least-recently-used
+	// templates beyond it are evicted and rebuilt cold on next use.
+	TemplateBudget int64
+	// SchedQueue bounds sessions waiting on the footprint budget;
+	// 0 = 2×workers (mirroring the worker pool's queue default).
+	SchedQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -114,15 +130,15 @@ type counters struct {
 
 // Server is the simulator service. Create with NewServer; serve its Handler.
 type Server struct {
-	cfg  Config
-	pool *par.Pool
-	memo *memo.Cache
-	ctr  counters
+	cfg   Config
+	pool  *par.Pool
+	sched *sched
+	memo  *memo.Cache
+	disk  *diskcache.Store // nil when CacheDir is unset
+	tmpls *tmplPool
+	ctr   counters
 
 	draining atomic.Bool
-
-	mu    sync.Mutex
-	tmpls map[tmplKey]*tmplEntry
 }
 
 // tmplKey identifies a warm template: exactly the construction-shaping
@@ -136,24 +152,33 @@ type tmplKey struct {
 	HugePages int
 }
 
-// tmplEntry is a single-flight slot for one template: the first session
-// builds it, concurrent sessions for the same key wait on the same once.
-type tmplEntry struct {
-	once sync.Once
-	w    *npb.Warm
-	err  error
-}
-
 // NewServer builds a server. Callers serve s.Handler() and, on shutdown,
-// call s.Drain followed by s.Close.
-func NewServer(cfg Config) *Server {
+// call s.Drain followed by s.Close. The only constructor failure is an
+// unusable CacheDir — a server without a disk cache never errors.
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:   cfg,
-		pool:  par.NewPool(cfg.Workers, cfg.Queue),
-		memo:  memo.NewBounded(cfg.MemoCapacity),
-		tmpls: make(map[tmplKey]*tmplEntry),
+	pool := par.NewPool(cfg.Workers, cfg.Queue)
+	schedQueue := cfg.SchedQueue
+	if schedQueue <= 0 {
+		schedQueue = 2 * pool.Workers()
 	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  pool,
+		sched: newSched(cfg.MemBudget, schedQueue),
+		memo:  memo.NewBounded(cfg.MemoCapacity),
+		tmpls: newTmplPool(cfg.TemplateBudget),
+	}
+	if cfg.CacheDir != "" {
+		disk, err := diskcache.Open(cfg.CacheDir)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		s.disk = disk
+		s.memo.SetBacking(disk)
+	}
+	return s, nil
 }
 
 // Drain puts the server into draining mode: every subsequent request is
@@ -187,48 +212,108 @@ func (s *Server) Counters() Counters {
 }
 
 // template returns the warm template for cfg's construction-shaping fields,
-// building it once. A quarantined template has been evicted, so the next
-// session rebuilds from scratch — cold construction cannot be poisoned by a
-// dead fork.
+// building it once and settling it into the budget-bounded pool. A
+// quarantined or capacity-evicted template is simply gone from the pool, so
+// the next session rebuilds from scratch — cold construction cannot be
+// poisoned by a dead fork.
 func (s *Server) template(cfg npb.RunConfig, kernel string) (*npb.Warm, tmplKey, error) {
 	key := tmplKey{Kernel: kernel, Class: cfg.Class, Policy: cfg.Policy, HugePages: cfg.HugePages}
-	s.mu.Lock()
-	e := s.tmpls[key]
-	if e == nil {
-		e = &tmplEntry{}
-		s.tmpls[key] = e
-	}
-	s.mu.Unlock()
+	e := s.tmpls.get(key)
 	e.once.Do(func() {
 		base := cfg
 		base.Ctx = nil // templates outlive any request
 		e.w, e.err = npb.NewWarm(kernel, base)
+		if e.err == nil {
+			e.bytes = npb.TemplateBytes(cfg.Class)
+		}
 	})
 	if e.err != nil {
 		// Failed construction is not cached: drop the slot so a later
 		// request retries (the failure may have been load-dependent).
-		s.mu.Lock()
-		if s.tmpls[key] == e {
-			delete(s.tmpls, key)
-		}
-		s.mu.Unlock()
+		s.tmpls.drop(key, e)
 		return nil, key, e.err
 	}
+	s.tmpls.settle(key, e)
 	return e.w, key, nil
 }
 
 // evictTemplate quarantines one template: future sessions rebuild cold.
 func (s *Server) evictTemplate(key tmplKey, e *tmplEntry) {
-	s.mu.Lock()
-	if s.tmpls[key] == nil || s.tmpls[key] == e {
-		delete(s.tmpls, key)
-	}
-	s.mu.Unlock()
+	s.tmpls.drop(key, e)
 	s.ctr.quarantined.Add(1)
 }
 
 func (s *Server) tmplEntryFor(key tmplKey) *tmplEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tmpls[key]
+	return s.tmpls.lookup(key)
+}
+
+// Gauges are the service's point-in-time readings — scheduler occupancy,
+// template-pool residency, disk-cache traffic — exposed by /stats next to
+// the monotone Counters.
+type Gauges struct {
+	// Footprint scheduler: sessions waiting on the budget, sessions charged
+	// against it, bytes charged now / at peak, and the configured budget
+	// (0 = unbounded). Waits and rejects are monotone.
+	SchedQueued        int    `json:"sched_queued"`
+	SchedRunning       int    `json:"sched_running"`
+	SchedChargedBytes  int64  `json:"sched_charged_bytes"`
+	SchedPeakBytes     int64  `json:"sched_peak_bytes"`
+	SchedBudgetBytes   int64  `json:"sched_budget_bytes"`
+	SchedBudgetWaits   uint64 `json:"sched_budget_waits"`
+	SchedBudgetRejects uint64 `json:"sched_budget_rejects"`
+	// Warmed-template pool: settled residents, their estimated bytes, the
+	// budget (0 = unbounded), capacity evictions and cold builds.
+	TemplateResidents   int    `json:"template_residents"`
+	TemplateBytes       int64  `json:"template_bytes"`
+	TemplateBudgetBytes int64  `json:"template_budget_bytes"`
+	TemplateEvictions   uint64 `json:"template_evictions"`
+	TemplateBuilds      uint64 `json:"template_builds"`
+	// Shared disk cache (zero-valued with DiskEnabled=false when no
+	// -cache-dir was given).
+	DiskEnabled       bool   `json:"disk_enabled"`
+	DiskHits          uint64 `json:"disk_hits"`
+	DiskMisses        uint64 `json:"disk_misses"`
+	DiskWrites        uint64 `json:"disk_writes"`
+	DiskCorruptSkips  uint64 `json:"disk_corrupt_skips"`
+	DiskStaleVersions uint64 `json:"disk_stale_versions"`
+	DiskWaits         uint64 `json:"disk_waits"`
+}
+
+// Gauges snapshots the point-in-time readings.
+func (s *Server) Gauges() Gauges {
+	queued, running, charged := s.sched.snapshot()
+	residents, bytes, evictions, builds := s.tmpls.snapshot()
+	g := Gauges{
+		SchedQueued:         queued,
+		SchedRunning:        running,
+		SchedChargedBytes:   charged,
+		SchedPeakBytes:      s.sched.peakCharged.Load(),
+		SchedBudgetBytes:    s.cfg.MemBudget,
+		SchedBudgetWaits:    s.sched.budgetWaits.Load(),
+		SchedBudgetRejects:  s.sched.budgetRejects.Load(),
+		TemplateResidents:   residents,
+		TemplateBytes:       bytes,
+		TemplateBudgetBytes: s.cfg.TemplateBudget,
+		TemplateEvictions:   evictions,
+		TemplateBuilds:      builds,
+	}
+	if s.disk != nil {
+		st := s.disk.Stats()
+		g.DiskEnabled = true
+		g.DiskHits = st.Hits
+		g.DiskMisses = st.Misses
+		g.DiskWrites = st.Writes
+		g.DiskCorruptSkips = st.CorruptSkips
+		g.DiskStaleVersions = st.StaleVersions
+		g.DiskWaits = st.Waits
+	}
+	return g
+}
+
+// DiskStats returns the shared disk cache's counters (zero when disabled).
+func (s *Server) DiskStats() diskcache.Stats {
+	if s.disk == nil {
+		return diskcache.Stats{}
+	}
+	return s.disk.Stats()
 }

@@ -1,0 +1,157 @@
+package simsrv
+
+import (
+	"sync"
+
+	"hugeomp/internal/npb"
+)
+
+// tmplPool is the warmed-template pool: an LRU of npb.Warm snapshots keyed
+// by the construction-shaping fields (kernel, class, policy, hugetlbfs
+// pool), bounded by a byte budget so mixed-model traffic keeps its hot
+// request classes warm without letting every class ever seen pin its shared
+// region forever. Each entry is a single-flight slot — the first session for
+// a key builds the template, concurrent sessions wait on the same once — and
+// eviction only unlinks an entry: sessions already holding the *npb.Warm
+// keep forking it safely (the snapshot is immutable), the memory is simply
+// released once the last of them finishes.
+//
+// Accounting is by estimate (npb.TemplateBytes — the snapshot pins the
+// class's whole shared region), charged when a build settles. The
+// most-recently-touched entry is never evicted, so a budget smaller than one
+// template degrades to a single-resident pool rather than thrashing to
+// empty — exactly the "single-template baseline" the service benchmark
+// compares against.
+type tmplPool struct {
+	mu        sync.Mutex
+	budget    int64 // bytes; 0 = unbounded
+	entries   map[tmplKey]*tmplEntry
+	lru       []tmplKey // least-recently-used first
+	resident  int64     // settled bytes
+	evictions uint64    // capacity evictions (quarantines counted separately)
+	builds    uint64    // templates constructed (cold)
+}
+
+// tmplEntry is a single-flight slot for one template: the first session
+// builds it, concurrent sessions for the same key wait on the same once.
+type tmplEntry struct {
+	once    sync.Once
+	w       *npb.Warm
+	err     error
+	bytes   int64
+	settled bool // accounted into the pool's resident total
+}
+
+func newTmplPool(budget int64) *tmplPool {
+	return &tmplPool{budget: budget, entries: make(map[tmplKey]*tmplEntry)}
+}
+
+// get returns the entry for key, creating an empty slot on first sight, and
+// marks key most recently used.
+func (p *tmplPool) get(key tmplKey) *tmplEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[key]
+	if e == nil {
+		e = &tmplEntry{}
+		p.entries[key] = e
+	}
+	p.touchLocked(key)
+	return e
+}
+
+func (p *tmplPool) touchLocked(key tmplKey) {
+	for i, k := range p.lru {
+		if k == key {
+			p.lru = append(p.lru[:i], p.lru[i+1:]...)
+			break
+		}
+	}
+	p.lru = append(p.lru, key)
+}
+
+// settle accounts a successfully built entry's bytes and evicts
+// least-recently-used settled entries until the pool fits its budget again.
+// The just-settled key itself is exempt, so one oversized template resides
+// alone instead of thrashing. Idempotent per entry.
+func (p *tmplPool) settle(key tmplKey, e *tmplEntry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e.settled || p.entries[key] != e {
+		return // already accounted, or evicted while building
+	}
+	e.settled = true
+	p.resident += e.bytes
+	p.builds++
+	if p.budget <= 0 {
+		return
+	}
+	for p.resident > p.budget {
+		victim, ok := p.victimLocked(key)
+		if !ok {
+			return
+		}
+		p.dropLocked(victim, p.entries[victim])
+		p.evictions++
+	}
+}
+
+// victimLocked returns the least-recently-used settled key other than keep.
+func (p *tmplPool) victimLocked(keep tmplKey) (tmplKey, bool) {
+	for _, k := range p.lru {
+		if k == keep {
+			continue
+		}
+		if e := p.entries[k]; e != nil && e.settled {
+			return k, true
+		}
+	}
+	return tmplKey{}, false
+}
+
+// drop removes key's entry if it is still e (a rebuilt successor is left
+// alone), returning whether it was removed. Used for failed builds and
+// quarantines; capacity eviction goes through settle.
+func (p *tmplPool) drop(key tmplKey, e *tmplEntry) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur := p.entries[key]
+	if cur == nil || (e != nil && cur != e) {
+		return false
+	}
+	p.dropLocked(key, cur)
+	return true
+}
+
+func (p *tmplPool) dropLocked(key tmplKey, e *tmplEntry) {
+	if e != nil && e.settled {
+		p.resident -= e.bytes
+	}
+	delete(p.entries, key)
+	for i, k := range p.lru {
+		if k == key {
+			p.lru = append(p.lru[:i], p.lru[i+1:]...)
+			break
+		}
+	}
+}
+
+// lookup returns the live entry for key without touching recency.
+func (p *tmplPool) lookup(key tmplKey) *tmplEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.entries[key]
+}
+
+// snapshot returns the pool's gauges: settled residents, resident bytes,
+// lifetime capacity evictions and cold builds.
+func (p *tmplPool) snapshot() (residents int, bytes int64, evictions, builds uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.entries {
+		if e.settled {
+			residents++
+		}
+	}
+	return residents, p.resident, p.evictions, p.builds
+}

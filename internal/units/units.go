@@ -104,6 +104,61 @@ func HumanBytes(n int64) string {
 	}
 }
 
+// ParseBytes parses a human byte count — the inverse of HumanBytes and the
+// format of every size-taking command-line flag: "512MB", "2gb", "64K", a
+// trailing "B"/"iB" optional and case ignored, a bare number meaning bytes.
+// Fractions are accepted ("1.5GB"); negatives are not.
+func ParseBytes(s string) (int64, error) {
+	t := s
+	for len(t) > 0 {
+		c := t[len(t)-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		t = t[:len(t)-1]
+	}
+	num, suffix := t, s[len(t):]
+	mult := int64(1)
+	switch {
+	case suffix == "" || eqFold(suffix, "B"):
+	case eqFold(suffix, "K") || eqFold(suffix, "KB") || eqFold(suffix, "KiB"):
+		mult = KB
+	case eqFold(suffix, "M") || eqFold(suffix, "MB") || eqFold(suffix, "MiB"):
+		mult = MB
+	case eqFold(suffix, "G") || eqFold(suffix, "GB") || eqFold(suffix, "GiB"):
+		mult = GB
+	default:
+		return 0, fmt.Errorf("units: bad byte size %q", s)
+	}
+	if num == "" {
+		return 0, fmt.Errorf("units: bad byte size %q", s)
+	}
+	var f float64
+	if _, err := fmt.Sscanf(num+"\n", "%g\n", &f); err != nil || f < 0 {
+		return 0, fmt.Errorf("units: bad byte size %q", s)
+	}
+	return int64(f * float64(mult)), nil
+}
+
+func eqFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if ca >= 'A' && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if cb >= 'A' && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
 // AlignUp rounds n up to the next multiple of align (a power of two).
 func AlignUp(n int64, align int64) int64 {
 	return (n + align - 1) &^ (align - 1)

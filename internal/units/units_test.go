@@ -83,3 +83,39 @@ func TestAlignUp(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	good := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"123", 123},
+		{"64B", 64},
+		{"512KB", 512 * KB},
+		{"512kb", 512 * KB},
+		{"64K", 64 * KB},
+		{"2MB", 2 * MB},
+		{"2MiB", 2 * MB},
+		{"1.5GB", GB + GB/2},
+		{"2g", 2 * GB},
+	}
+	for _, c := range good {
+		got, err := ParseBytes(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, in := range []string{"", "MB", "-1KB", "12XB", "1a2", "1..5MB"} {
+		if got, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want error", in, got)
+		}
+	}
+	// Round trip with HumanBytes for exact multiples.
+	for _, n := range []int64{64, 4 * KB, 512 * KB, 2 * MB, 3 * GB} {
+		got, err := ParseBytes(HumanBytes(n))
+		if err != nil || got != n {
+			t.Errorf("ParseBytes(HumanBytes(%d)) = %d, %v", n, got, err)
+		}
+	}
+}
