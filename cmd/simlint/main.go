@@ -1,7 +1,11 @@
 // Command simlint runs the simulator's static contract checks: determinism
-// (no wall clocks, no global rand, no order-sensitive map iteration in
-// simulator packages), lockdiscipline (bus-shard/cache lock ordering, no
-// locks held across bus traffic, no defer-unlock on hot paths), atomicfield
+// (no wall clocks, no global rand, no scheduler queries, no order-sensitive
+// map iteration in simulator packages), dettaint (interprocedural
+// determinism taint from host-state sources into profile counters and memo
+// keys), lockdiscipline (no defer-unlock on hot paths), lockorder
+// (interprocedural lock-acquisition ordering against the documented
+// hierarchy, with cycle detection), ctxflow (loops issuing omp regions must
+// reach rt.Checkpoint or carry //simlint:nocheckpoint), atomicfield
 // (//simlint:atomic fields only touched through sync/atomic), cowshared
 // (//simlint:cowshared snapshot-shared arrays only written inside
 // //simlint:cowbarrier functions — the copy-on-write write barrier) and
@@ -16,7 +20,12 @@
 // The second form speaks cmd/go's vettool protocol: -V=full and -flags for
 // the handshake, then a single *.cfg argument per package with the build
 // system supplying export data, so no source re-type-checking of
-// dependencies is needed.
+// dependencies is needed. Interprocedural facts (per-function summaries)
+// flow between packages through the vetx files cmd/go threads from
+// dependencies to dependents — and caches keyed by export data, so an
+// unchanged package is never re-analyzed. The standalone mode walks the
+// module in dependency order with one shared fact store, which by
+// construction yields the same findings.
 package main
 
 import (
@@ -37,9 +46,11 @@ import (
 
 	"hugeomp/internal/lint"
 	"hugeomp/internal/lint/analysis"
+	"hugeomp/internal/lint/ctxflow"
 	"hugeomp/internal/lint/determinism"
+	"hugeomp/internal/lint/dettaint"
 	"hugeomp/internal/lint/load"
-	"hugeomp/internal/lint/lockdiscipline"
+	"hugeomp/internal/lint/lockorder"
 )
 
 var (
@@ -50,10 +61,20 @@ var (
 
 	detPackages = flag.String("determinism.packages", strings.Join(determinism.Packages, ","),
 		"comma-separated package suffixes held to the determinism contract")
-	lockOrder = flag.String("lockdiscipline.order", lockdiscipline.Order,
-		"lock hierarchy, outermost first, e.g. \"busShard < Cache, cacheFields\"")
-	lockBus = flag.String("lockdiscipline.bus", lockdiscipline.BusTypes,
-		"comma-separated type names whose Access* methods are bus traffic")
+	dtPackages = flag.String("dettaint.packages", strings.Join(dettaint.Packages, ","),
+		"comma-separated package suffixes where determinism taint is reported")
+	dtSinkTypes = flag.String("dettaint.sinktypes", dettaint.SinkTypes,
+		"comma-separated named types whose methods are determinism sinks")
+	dtSinkFuncs = flag.String("dettaint.sinkfuncs", dettaint.SinkFuncs,
+		"comma-separated pkg.Func sink functions (memo key builders)")
+	loOrder = flag.String("lockorder.order", lockorder.Order,
+		"lock hierarchy, outermost first, e.g. \"Context.l2Mu < busShard < Cache, cacheFields\"")
+	loPackages = flag.String("lockorder.packages", strings.Join(lockorder.Packages, ","),
+		"comma-separated package suffixes where lock-order violations are reported")
+	cfPackages = flag.String("ctxflow.packages", strings.Join(ctxflow.Packages, ","),
+		"comma-separated package suffixes whose loops must stay cancellable")
+	cfRTType = flag.String("ctxflow.rttype", ctxflow.RTType,
+		"pkg.Type of the omp runtime whose methods delimit regions and checkpoints")
 
 	// Per-analyzer enable flags, unitchecker-style: if any is set
 	// explicitly, only the set ones run.
@@ -83,8 +104,13 @@ func main() {
 	}
 
 	determinism.Packages = splitList(*detPackages)
-	lockdiscipline.Order = *lockOrder
-	lockdiscipline.BusTypes = *lockBus
+	dettaint.Packages = splitList(*dtPackages)
+	dettaint.SinkTypes = *dtSinkTypes
+	dettaint.SinkFuncs = *dtSinkFuncs
+	lockorder.Order = *loOrder
+	lockorder.Packages = splitList(*loPackages)
+	ctxflow.Packages = splitList(*cfPackages)
+	ctxflow.RTType = *cfRTType
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
@@ -133,8 +159,12 @@ func standalone(patterns []string) int {
 		return 2
 	}
 	analyzers := selected()
+	// One fact store shared across the dependency-ordered walk: summaries
+	// computed for a dependency are visible when its dependents run, exactly
+	// as the vetx files thread them in vettool mode.
+	facts := analysis.NewFactStore()
 	found := false
-	tree := make(jsonTree)
+	var report jsonReport
 	for _, p := range pkgs {
 		diags, err := lint.Run(&lint.Unit{
 			Fset:  p.Fset,
@@ -142,22 +172,30 @@ func standalone(patterns []string) int {
 			Pkg:   p.Types,
 			Info:  p.Info,
 			Sizes: p.Sizes,
+			Facts: facts,
 		}, analyzers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", p.ImportPath, err)
 			return 2
 		}
+		if !p.Root {
+			continue // dependencies contribute facts, not findings
+		}
 		for _, d := range diags {
-			found = true
 			if *jsonFlag {
-				tree.add(p.ImportPath, d)
-			} else {
+				report = append(report, jsonFinding(p.ImportPath, d))
+			}
+			if d.Suppressed {
+				continue
+			}
+			found = true
+			if !*jsonFlag {
 				printPlain(d)
 			}
 		}
 	}
 	if *jsonFlag {
-		tree.print()
+		report.print()
 		return 0
 	}
 	if found {
@@ -188,25 +226,42 @@ func printContext(pos token.Position) {
 	}
 }
 
-// jsonTree mirrors go vet's -json output: package → analyzer → diagnostics.
-type jsonDiag struct {
-	Posn    string `json:"posn"`
-	Message string `json:"message"`
+// --- machine-readable findings ---------------------------------------------
+
+// A finding is the SARIF-ish machine-readable form of one diagnostic:
+// stable rule id, position, message, the interprocedural call-chain trace
+// (outermost frame first), and the ignore status. Suppressed findings are
+// included so audit tooling can see what the //simlint:ignore comments are
+// holding back; consumers gating CI must filter on !suppressed.
+type finding struct {
+	Rule           string   `json:"rule"`
+	Package        string   `json:"package"`
+	Posn           string   `json:"posn"`
+	Message        string   `json:"message"`
+	Trace          []string `json:"trace,omitempty"`
+	Suppressed     bool     `json:"suppressed,omitempty"`
+	SuppressReason string   `json:"suppressReason,omitempty"`
 }
 
-type jsonTree map[string]map[string][]jsonDiag
+type jsonReport []finding
 
-func (t jsonTree) add(pkgID string, d lint.Diagnostic) {
-	m := t[pkgID]
-	if m == nil {
-		m = make(map[string][]jsonDiag)
-		t[pkgID] = m
+func jsonFinding(pkgID string, d lint.Diagnostic) finding {
+	return finding{
+		Rule:           d.Analyzer,
+		Package:        pkgID,
+		Posn:           d.Pos.String(),
+		Message:        d.Message,
+		Trace:          d.Trace,
+		Suppressed:     d.Suppressed,
+		SuppressReason: d.SuppressReason,
 	}
-	m[d.Analyzer] = append(m[d.Analyzer], jsonDiag{Posn: d.Pos.String(), Message: d.Message})
 }
 
-func (t jsonTree) print() {
-	data, err := json.MarshalIndent(t, "", "\t")
+func (r jsonReport) print() {
+	if r == nil {
+		r = jsonReport{} // emit [] rather than null for an empty report
+	}
+	data, err := json.MarshalIndent(r, "", "\t")
 	if err != nil {
 		panic(err)
 	}
@@ -305,13 +360,28 @@ func vettool(cfgPath string) int {
 	}
 
 	// The go command also runs the vettool over dependency packages so a
-	// tool can accumulate facts. simlint has no cross-package facts and its
-	// contracts only bind module code, so packages outside any module (the
-	// standard library has an empty ModulePath) get an empty fact file and
-	// nothing else (some of them also trip go/types corner cases that never
-	// matter for module code).
+	// tool can accumulate facts. simlint's contracts only bind module code
+	// and its fact producers only summarize module functions, so packages
+	// outside any module (the standard library has an empty ModulePath) get
+	// an empty fact file and nothing else (some of them also trip go/types
+	// corner cases that never matter for module code).
 	if cfg.ModulePath == "" {
-		return writeVetx(cfg)
+		return writeVetx(cfg, nil)
+	}
+
+	// Seed the fact store with the dependencies' summaries: cmd/go hands us
+	// one vetx file per import, produced by earlier runs of this tool and
+	// cached keyed by export data (so unchanged packages are incremental).
+	facts := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		raw, err := os.ReadFile(vetx)
+		if err != nil || len(raw) == 0 {
+			continue // empty or missing vetx: a package with no facts
+		}
+		if err := facts.MergeEncoded(raw); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: reading facts %s: %v\n", vetx, err)
+			return 1
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -320,7 +390,7 @@ func vettool(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return writeVetx(cfg)
+				return writeVetx(cfg, nil)
 			}
 			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 			return 1
@@ -364,7 +434,7 @@ func vettool(cfgPath string) int {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return writeVetx(cfg)
+			return writeVetx(cfg, nil)
 		}
 		fmt.Fprintf(os.Stderr, "simlint: type-checking %s: %v\n", cfg.ImportPath, err)
 		return 1
@@ -376,43 +446,59 @@ func vettool(cfgPath string) int {
 		Pkg:   tpkg,
 		Info:  info,
 		Sizes: sizes,
+		Facts: facts,
 	}, selected())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
-	if code := writeVetx(cfg); code != 0 {
+	if code := writeVetx(cfg, facts); code != 0 {
 		return code
 	}
 	if cfg.VetxOnly {
 		return 0
 	}
 
-	if *jsonFlag {
-		tree := make(jsonTree)
-		for _, d := range diags {
-			tree.add(cfg.ID, d)
+	visible := diags[:0:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			visible = append(visible, d)
 		}
-		tree.print()
+	}
+	if *jsonFlag {
+		report := make(jsonReport, 0, len(diags))
+		for _, d := range diags {
+			report = append(report, jsonFinding(cfg.ID, d))
+		}
+		report.print()
 		return 0
 	}
-	for _, d := range diags {
+	for _, d := range visible {
 		printPlain(d)
 	}
-	if len(diags) > 0 {
+	if len(visible) > 0 {
 		return 1
 	}
 	return 0
 }
 
-// writeVetx records this package's (empty) fact set where the build system
-// asked for it; cmd/go treats a missing output file as a tool failure.
-func writeVetx(cfg *vetConfig) int {
+// writeVetx records this package's fact set (its own summaries plus the
+// re-exported transitive ones) where the build system asked for it; cmd/go
+// treats a missing output file as a tool failure.
+func writeVetx(cfg *vetConfig, facts *analysis.FactStore) int {
 	if cfg.VetxOutput == "" {
 		return 0
 	}
-	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	var data []byte
+	if facts != nil {
+		var err error
+		if data, err = facts.Encode(); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: encoding facts: %v\n", err)
+			return 1
+		}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		return 1
 	}

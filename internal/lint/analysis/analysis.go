@@ -38,6 +38,13 @@ type Pass struct {
 	TypesInfo  *types.Info
 	TypesSizes types.Sizes
 
+	// Facts carries serialized cross-package function summaries for the
+	// interprocedural analyzers: summaries of dependency packages are read
+	// from it and this package's summaries are written back. May be nil
+	// (analysistest), in which case every external function gets its
+	// analyzer's conservative default summary.
+	Facts *FactStore
+
 	// Report delivers one diagnostic. The driver owns it (it applies
 	// //simlint:ignore filtering there, not in the analyzers).
 	Report func(Diagnostic)
@@ -48,6 +55,11 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Category string // analyzer name; filled by the driver if empty
 	Message  string
+
+	// Trace is the call chain that produces interprocedural findings
+	// (outermost frame first), e.g. the acquisition path of a lock-order
+	// inversion. Empty for intra-function findings.
+	Trace []string
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"hugeomp/internal/lint/analysistest"
+	"hugeomp/internal/lint/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	defer func(pkgs []string, rt string) {
+		ctxflow.Packages, ctxflow.RTType = pkgs, rt
+	}(ctxflow.Packages, ctxflow.RTType)
+	ctxflow.Packages = []string{"a"}
+	ctxflow.RTType = "a.RT"
+
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "a")
+}

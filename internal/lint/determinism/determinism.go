@@ -6,7 +6,9 @@
 //     the cost model, never from the host;
 //  2. the global math/rand generators — randomness must flow from a seeded
 //     *rand.Rand owned by the run so replays are exact;
-//  3. iteration over a map in an order-sensitive way. A map range is allowed
+//  3. scheduler/host-state queries (runtime.NumGoroutine and friends) —
+//     thread counts come from the simulated machine config;
+//  4. iteration over a map in an order-sensitive way. A map range is allowed
 //     only when the loop provably feeds an order-insensitive sink (integer
 //     accumulation, min/max folds, writes keyed by the iteration key,
 //     delete) or the collect-then-sort idiom (append into a slice that is
@@ -15,6 +17,10 @@
 // Floating-point accumulation across a map range is flagged even though it
 // "only" perturbs low bits: FP addition does not commute, and the NPB
 // verification thresholds assume bit-identical replays.
+//
+// The source-call table is shared with the interprocedural dettaint
+// analyzer (dettaint.SourceCall): determinism flags the direct call sites,
+// dettaint follows laundered values across functions into the sinks.
 package determinism
 
 import (
@@ -25,6 +31,7 @@ import (
 	"strings"
 
 	"hugeomp/internal/lint/analysis"
+	"hugeomp/internal/lint/dettaint"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -59,24 +66,11 @@ func inScope(path string) bool {
 	return false
 }
 
-// wallClockFuncs are the time package functions that read the host clock.
-var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
-
 func run(pass *analysis.Pass) (any, error) {
 	if !inScope(pass.Pkg.Path()) {
 		return nil, nil
 	}
-	// The contract binds simulation results, not test diagnostics: a map
-	// range that only changes the order of t.Errorf lines cannot perturb a
-	// replay. Drivers that include *_test.go files (go vet does) therefore
-	// skip them here.
-	files := pass.Files[:0:0]
-	for _, f := range pass.Files {
-		if !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
-			files = append(files, f)
-		}
-	}
-	analysis.WithStack(files, func(n ast.Node, stack []ast.Node) bool {
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkCall(pass, n)
@@ -106,24 +100,25 @@ func enclosingBody(stack []ast.Node) *ast.BlockStmt {
 	return nil
 }
 
+// checkCall flags direct source calls in simulator packages, using the
+// source table shared with the interprocedural dettaint analyzer so the two
+// passes can never disagree about what a source is.
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
-	fn := analysis.Callee(pass.TypesInfo, call)
-	if fn == nil || fn.Pkg() == nil {
+	kind, _, ok := dettaint.SourceCall(pass.TypesInfo, call)
+	if !ok {
 		return
 	}
-	sig, _ := fn.Type().(*types.Signature)
-	pkgLevel := sig != nil && sig.Recv() == nil
-	switch fn.Pkg().Path() {
-	case "time":
-		if pkgLevel && wallClockFuncs[fn.Name()] {
-			pass.Reportf(call.Pos(),
-				"wall-clock read time.%s in a simulator package: simulated time must come from the cost model, not the host clock", fn.Name())
-		}
-	case "math/rand", "math/rand/v2":
-		if pkgLevel {
-			pass.Reportf(call.Pos(),
-				"global %s.%s in a simulator package: use a seeded *rand.Rand owned by the run so replays are bit-identical", fn.Pkg().Name(), fn.Name())
-		}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	switch kind {
+	case dettaint.WallClock:
+		pass.Reportf(call.Pos(),
+			"wall-clock read time.%s in a simulator package: simulated time must come from the cost model, not the host clock", fn.Name())
+	case dettaint.GlobalRand:
+		pass.Reportf(call.Pos(),
+			"global %s.%s in a simulator package: use a seeded *rand.Rand owned by the run so replays are bit-identical", fn.Pkg().Name(), fn.Name())
+	case dettaint.SchedQuery:
+		pass.Reportf(call.Pos(),
+			"scheduler/host-state read runtime.%s in a simulator package: thread counts come from the simulated machine config, not the host", fn.Name())
 	}
 }
 

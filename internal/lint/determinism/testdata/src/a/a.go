@@ -4,6 +4,7 @@ package a
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 )
 
@@ -14,6 +15,17 @@ func clocks() time.Duration {
 
 func globalRand() int64 {
 	return rand.Int63() // want `global rand\.Int63`
+}
+
+func schedState() int {
+	return runtime.NumGoroutine() // want `scheduler/host-state read runtime\.NumGoroutine`
+}
+
+// Seeded generators are deterministic given the seed: constructors are not
+// sources, and draws from an owned *rand.Rand are the sanctioned shape.
+func seededLocal() int64 {
+	rng := rand.New(rand.NewSource(7))
+	return rng.Int63()
 }
 
 func floatAccum(m map[int]float64) float64 {

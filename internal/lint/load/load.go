@@ -19,18 +19,20 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
-	"sort"
 )
 
 // A Package is one type-checked package ready for analysis.
 type Package struct {
 	ImportPath string
 	Dir        string
-	Fset       *token.FileSet
-	Files      []*ast.File
-	Types      *types.Package
-	Info       *types.Info
-	Sizes      types.Sizes
+	// Root marks a package matched by the load patterns (as opposed to an
+	// in-module dependency pulled in for type-checking and fact computation).
+	Root  bool
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
 }
 
 // listItem is the subset of `go list -json` output the loader consumes.
@@ -68,10 +70,16 @@ func goList(dir string, args ...string) ([]*listItem, error) {
 	return items, nil
 }
 
-// Load type-checks the packages matching patterns (plus their in-module
-// dependencies) and returns the matched packages in a deterministic
-// (import-path) order. dir is the directory to resolve patterns from ("" for
-// the current directory).
+// Load type-checks the packages matching patterns plus their in-module
+// dependencies and returns them ALL in dependency-first order, with Root set
+// on the matched ones. Callers that only report on matched packages must
+// still walk the dependencies first so interprocedural facts flow bottom-up.
+// dir is the directory to resolve patterns from ("" for the current
+// directory).
+//
+// `go list` applies the build context: files excluded by build tags never
+// reach the parser, and GoFiles excludes _test.go files, so test code is
+// invisible to this loader.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -132,19 +140,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("type-checking %s: %v", it.ImportPath, err)
 		}
 		checked[it.ImportPath] = tpkg
-		if isRoot[it.ImportPath] {
-			out = append(out, &Package{
-				ImportPath: it.ImportPath,
-				Dir:        it.Dir,
-				Fset:       fset,
-				Files:      files,
-				Types:      tpkg,
-				Info:       info,
-				Sizes:      sizes,
-			})
-		}
+		out = append(out, &Package{
+			ImportPath: it.ImportPath,
+			Dir:        it.Dir,
+			Root:       isRoot[it.ImportPath],
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+			Sizes:      sizes,
+		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
 	return out, nil
 }
 

@@ -1,0 +1,99 @@
+package load_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hugeomp/internal/lint/load"
+)
+
+// loadMod loads the nested test module under testdata/mod. The module has
+// its own go.mod so `go list` resolves patterns against it, not hugeomp.
+func loadMod(t *testing.T, patterns ...string) []*load.Package {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestDependencyOrderAndRoots: loading only the root package must still
+// type-check and return its in-module dependency, dependency first, with
+// Root marking the matched package.
+func TestDependencyOrderAndRoots(t *testing.T) {
+	pkgs := loadMod(t, ".")
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (dep + root): %+v", len(pkgs), paths(pkgs))
+	}
+	if pkgs[0].ImportPath != "loadtest/dep" || pkgs[0].Root {
+		t.Errorf("pkgs[0] = %s (root=%v), want loadtest/dep as non-root dependency", pkgs[0].ImportPath, pkgs[0].Root)
+	}
+	if pkgs[1].ImportPath != "loadtest" || !pkgs[1].Root {
+		t.Errorf("pkgs[1] = %s (root=%v), want loadtest as root", pkgs[1].ImportPath, pkgs[1].Root)
+	}
+}
+
+// TestBuildTagsExcluded: tagged.go carries //go:build loadtest_excluded and
+// references an undefined symbol; if the loader ignored build tags, Load
+// would fail type-checking. It must also never reach the parsed file list.
+func TestBuildTagsExcluded(t *testing.T) {
+	pkgs := loadMod(t, "./...")
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+			if name == "tagged.go" {
+				t.Errorf("tag-excluded file tagged.go was parsed into %s", p.ImportPath)
+			}
+		}
+	}
+}
+
+// TestTestFilesExcluded: root_test.go would fail to type-check if loaded;
+// GoFiles keeps it out entirely.
+func TestTestFilesExcluded(t *testing.T) {
+	pkgs := loadMod(t, "./...")
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+			if strings.HasSuffix(name, "_test.go") {
+				t.Errorf("test file %s was parsed into %s", name, p.ImportPath)
+			}
+		}
+	}
+}
+
+// TestAllPatternsRoot: with ./... both packages are matched, and the order
+// stays dependency-first.
+func TestAllPatternsRoot(t *testing.T) {
+	pkgs := loadMod(t, "./...")
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2: %v", len(pkgs), paths(pkgs))
+	}
+	for _, p := range pkgs {
+		if !p.Root {
+			t.Errorf("%s not marked Root under ./...", p.ImportPath)
+		}
+	}
+	if pkgs[0].ImportPath != "loadtest/dep" {
+		t.Errorf("dependency loadtest/dep not first: %v", paths(pkgs))
+	}
+	// The matched root really type-checked against the dep (V = dep.D).
+	root := pkgs[1]
+	if root.Types.Scope().Lookup("V") == nil {
+		t.Error("root package lost its V declaration")
+	}
+}
+
+func paths(pkgs []*load.Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.ImportPath)
+	}
+	return out
+}

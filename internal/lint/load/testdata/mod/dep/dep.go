@@ -1,0 +1,4 @@
+// Package dep is an in-module dependency of root.
+package dep
+
+const D = 42

@@ -1,0 +1,3 @@
+module loadtest
+
+go 1.22

@@ -1,0 +1,10 @@
+// Package root is the pattern-matched package of the loader test module; it
+// pulls in the dep package so dependency ordering is observable.
+package root
+
+import "loadtest/dep"
+
+// Exclude is defined in tagged.go, which carries a build tag the test does
+// not enable; referencing it here would break type-checking if the loader
+// ever parsed tag-excluded files.
+var V = dep.D

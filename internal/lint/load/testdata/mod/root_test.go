@@ -1,0 +1,5 @@
+package root
+
+// Test files are outside the loader's view (GoFiles excludes them); this one
+// would fail to type-check if it were ever loaded.
+var TestOnly = alsoUndefined

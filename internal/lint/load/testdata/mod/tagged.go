@@ -1,0 +1,7 @@
+//go:build loadtest_excluded
+
+package root
+
+// This file type-checks only if the loader wrongly ignores build tags: it
+// references an undefined symbol.
+var Excluded = undefinedSymbol

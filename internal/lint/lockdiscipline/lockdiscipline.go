@@ -1,33 +1,18 @@
-// Package lockdiscipline enforces the simulator's documented locking
-// protocol, which the sharded coherence bus depends on for deadlock freedom
-// and which the hot path depends on for speed:
+// Package lockdiscipline enforces the hot-path locking rule: no
+// `defer mu.Unlock()` in functions marked //simlint:hotpath. Defer costs
+// tens of nanoseconds per call on the per-access path, which is why the hot
+// functions unlock explicitly.
 //
-//  1. Lock ordering. Locks are ranked by the named type that owns the mutex
-//     field (default: machine-level shared-structure mutexes → cache.busShard
-//     → cache.Cache). Acquiring a lock whose rank is ≤ the rank of a lock
-//     already held — including a second lock of the same class — is an
-//     error: the bus protocol takes one shard lock, then at most one cache
-//     mutex at a time, never the reverse.
-//  2. No foreign mutex held across Bus.Access* calls: a bus transaction
-//     takes shard and cache locks internally, so entering it with an
-//     unrelated mutex held extends that mutex's hold time over the whole
-//     snoop and risks order inversions the analyzer cannot see. (The one
-//     deliberate exception, the shared-L2 serialisation mutex, carries a
-//     //simlint:ignore with its hierarchy argument.)
-//  3. No `defer mu.Unlock()` in functions marked //simlint:hotpath: defer
-//     costs tens of nanoseconds per call on the per-access path, which is
-//     why the hot functions unlock explicitly.
-//
-// The analysis is intra-procedural and flow-insensitive across branches
-// (nested blocks are walked in source order against one held-lock set);
-// that is exactly enough for the simulator's straight-line locking idioms,
-// and the corpus in testdata pins the supported shapes.
+// The lock-ordering and bus-transaction rules that used to live here were
+// replaced by the interprocedural lockorder analyzer: rank inversions,
+// same-class double acquisitions and unranked locks held across ranked
+// acquisitions are now detected across call chains and packages instead of
+// syntactically within one function (see internal/lint/lockorder).
 package lockdiscipline
 
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"hugeomp/internal/lint/analysis"
 	"hugeomp/internal/lint/directive"
@@ -35,310 +20,63 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockdiscipline",
-	Doc: "enforce lock ordering (shard before cache, one per class), forbid foreign mutexes " +
-		"across Bus.Access* calls and deferred unlocks in //simlint:hotpath functions",
-	Run: run,
-}
-
-// Order is the documented lock hierarchy: "<" separates levels acquired
-// strictly in left-to-right order, "," separates type names sharing a
-// level. A lock's class is the named type owning its mutex field. The
-// driver exposes it as -lockdiscipline.order.
-var Order = "busShard < Cache, cacheFields"
-
-// BusTypes names the types whose Access* methods are coherence-bus
-// transactions (comma-separated). The driver exposes it as
-// -lockdiscipline.bus.
-var BusTypes = "Bus"
-
-type heldLock struct {
-	expr  string // rendered mutex expression, e.g. "sh.mu"
-	class string
-	rank  int // -1 when the class is not in Order
-	pos   ast.Node
-}
-
-type checker struct {
-	pass    *analysis.Pass
-	ranks   map[string]int
-	busType map[string]bool
-	hotpath bool
-	held    []heldLock
-}
-
-func parseOrder(spec string) map[string]int {
-	ranks := make(map[string]int)
-	for rank, level := range strings.Split(spec, "<") {
-		for _, name := range strings.Split(level, ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				ranks[name] = rank
-			}
-		}
-	}
-	return ranks
+	Doc:  "forbid deferred mutex unlocks in //simlint:hotpath functions (defer costs on every simulated access)",
+	Run:  run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	ranks := parseOrder(Order)
-	busType := make(map[string]bool)
-	for _, name := range strings.Split(BusTypes, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			busType[name] = true
-		}
-	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+			if !ok || fd.Body == nil || !directive.Has(directive.Func(fd), "hotpath") {
 				continue
 			}
-			ck := &checker{
-				pass:    pass,
-				ranks:   ranks,
-				busType: busType,
-				hotpath: directive.Has(directive.Func(fd), "hotpath"),
-			}
-			ck.block(fd.Body.List)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					_ = lit // literals run in their own context; the directive binds the declared body
+					return false
+				}
+				ds, ok := n.(*ast.DeferStmt)
+				if !ok {
+					return true
+				}
+				if mu, ok := mutexUnlock(pass.TypesInfo, ds.Call); ok {
+					pass.Reportf(ds.Pos(),
+						"defer %s() in a //simlint:hotpath function: hot-path functions unlock explicitly (defer costs on every simulated access)", mu)
+				}
+				return true
+			})
 		}
 	}
 	return nil, nil
 }
 
-// block walks statements in source order against the shared held set,
-// flattening nested control flow (see package doc).
-func (ck *checker) block(stmts []ast.Stmt) {
-	for _, s := range stmts {
-		ck.stmt(s)
-	}
-}
-
-func (ck *checker) stmt(s ast.Stmt) {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		ck.expr(s.X)
-	case *ast.DeferStmt:
-		if mu, kind := ck.mutexCall(s.Call); kind == "unlock" {
-			if ck.hotpath {
-				ck.pass.Reportf(s.Pos(),
-					"defer %s.Unlock() in a //simlint:hotpath function: hot-path functions unlock explicitly (defer costs on every simulated access)", mu)
-			}
-			// The lock stays held to the end of the function, which is
-			// exactly what the held set should reflect; nothing to remove.
-			return
-		}
-		ck.funcLits(s.Call)
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			ck.expr(e)
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			ck.stmt(s.Init)
-		}
-		ck.expr(s.Cond)
-		ck.block(s.Body.List)
-		if s.Else != nil {
-			ck.stmt(s.Else)
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			ck.stmt(s.Init)
-		}
-		if s.Cond != nil {
-			ck.expr(s.Cond)
-		}
-		ck.block(s.Body.List)
-		if s.Post != nil {
-			ck.stmt(s.Post)
-		}
-	case *ast.RangeStmt:
-		ck.expr(s.X)
-		ck.block(s.Body.List)
-	case *ast.BlockStmt:
-		ck.block(s.List)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			ck.stmt(s.Init)
-		}
-		if s.Tag != nil {
-			ck.expr(s.Tag)
-		}
-		for _, c := range s.Body.List {
-			ck.block(c.(*ast.CaseClause).Body)
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			ck.block(c.(*ast.CaseClause).Body)
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			ck.block(c.(*ast.CommClause).Body)
-		}
-	case *ast.GoStmt:
-		ck.funcLits(s.Call)
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			ck.expr(e)
-		}
-	case *ast.LabeledStmt:
-		ck.stmt(s.Stmt)
-	}
-}
-
-// expr processes calls (and function literals) inside an expression.
-func (ck *checker) expr(e ast.Expr) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			// A literal's body runs with its own lock context (it may run
-			// later or on another goroutine); analyze it independently.
-			sub := &checker{pass: ck.pass, ranks: ck.ranks, busType: ck.busType}
-			sub.block(n.Body.List)
-			return false
-		case *ast.CallExpr:
-			ck.call(n)
-			// Arguments were visited by call via Inspect recursion below.
-		}
-		return true
-	})
-}
-
-// funcLits analyzes only the function literals inside a call (for go/defer,
-// whose direct lock effects are handled separately).
-func (ck *checker) funcLits(call *ast.CallExpr) {
-	ast.Inspect(call, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok {
-			sub := &checker{pass: ck.pass, ranks: ck.ranks, busType: ck.busType}
-			sub.block(lit.Body.List)
-			return false
-		}
-		return true
-	})
-}
-
-// call handles Lock/Unlock transitions and the bus-transaction rule.
-func (ck *checker) call(call *ast.CallExpr) {
-	if mu, kind := ck.mutexCall(call); kind != "" {
-		switch kind {
-		case "lock":
-			ck.acquire(call, mu)
-		case "unlock":
-			ck.release(mu)
-		}
-		return
-	}
-	if name, ok := ck.busAccessCall(call); ok && len(ck.held) > 0 {
-		for _, h := range ck.held {
-			ck.pass.Reportf(call.Pos(),
-				"mutex %s held across bus transaction %s: bus calls take shard and cache locks internally, so callers must not enter them holding their own locks", h.expr, name)
-		}
-	}
-}
-
-func (ck *checker) acquire(at ast.Node, mu mutexRef) {
-	rank, ranked := ck.ranks[mu.class]
-	if !ranked {
-		rank = -1
-	}
-	for _, h := range ck.held {
-		if rank >= 0 && h.rank >= 0 {
-			switch {
-			case h.rank > rank:
-				ck.pass.Reportf(at.Pos(),
-					"lock order violation: %s (class %s) acquired while %s (class %s) is held; the documented order is %s", mu.expr, mu.class, h.expr, h.class, Order)
-			case h.rank == rank:
-				ck.pass.Reportf(at.Pos(),
-					"two %s-class locks held at once (%s while holding %s): the bus protocol takes at most one lock per class", mu.class, mu.expr, h.expr)
-			}
-		}
-	}
-	ck.held = append(ck.held, heldLock{expr: mu.expr, class: mu.class, rank: rank, pos: at})
-}
-
-func (ck *checker) release(mu mutexRef) {
-	for i := len(ck.held) - 1; i >= 0; i-- {
-		if ck.held[i].expr == mu.expr {
-			ck.held = append(ck.held[:i], ck.held[i+1:]...)
-			return
-		}
-	}
-}
-
-type mutexRef struct {
-	expr  string // rendered receiver, e.g. "sh.mu" or "c.l2Mu"
-	class string // named type owning the mutex field, "" if none
-}
-
-// mutexCall recognises m.Lock/RLock ("lock") and m.Unlock/RUnlock
-// ("unlock") calls on sync.Mutex/RWMutex values and returns the mutex
-// reference.
-func (ck *checker) mutexCall(call *ast.CallExpr) (mutexRef, string) {
+// mutexUnlock recognises `defer m.Unlock()` / `defer m.RUnlock()` on
+// sync.Mutex/RWMutex values and returns the rendered call expression.
+func mutexUnlock(info *types.Info, call *ast.CallExpr) (string, bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return mutexRef{}, ""
+		return "", false
 	}
-	fn, _ := ck.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return mutexRef{}, ""
-	}
-	recv := analysis.TypeName(recvType(fn))
-	if recv != "Mutex" && recv != "RWMutex" {
-		return mutexRef{}, ""
-	}
-	var kind string
-	switch fn.Name() {
-	case "Lock", "RLock":
-		kind = "lock"
-	case "Unlock", "RUnlock":
-		kind = "unlock"
-	default:
-		return mutexRef{}, ""
-	}
-	return mutexRef{expr: renderExpr(sel.X), class: ck.ownerClass(sel.X)}, kind
-}
-
-// ownerClass names the struct type that owns the mutex: for `sh.mu.Lock()`
-// the named type of `sh` ("busShard"); for a bare local/parameter mutex,
-// "".
-func (ck *checker) ownerClass(mu ast.Expr) string {
-	if sel, ok := ast.Unparen(mu).(*ast.SelectorExpr); ok {
-		if name := analysis.TypeName(ck.pass.TypesInfo.TypeOf(sel.X)); name != "" {
-			return name
-		}
-	}
-	return ""
-}
-
-// busAccessCall recognises method calls named Access* on a configured bus
-// type and returns "Type.Method".
-func (ck *checker) busAccessCall(call *ast.CallExpr) (string, bool) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || !strings.HasPrefix(sel.Sel.Name, "Access") {
 		return "", false
 	}
-	fn, _ := ck.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if fn == nil {
+	if fn.Name() != "Unlock" && fn.Name() != "RUnlock" {
 		return "", false
 	}
-	recv := analysis.TypeName(recvType(fn))
-	if recv == "" || !ck.busType[recv] {
-		return "", false
-	}
-	return recv + "." + fn.Name(), true
-}
-
-func recvType(fn *types.Func) types.Type {
 	sig, _ := fn.Type().(*types.Signature)
 	if sig == nil || sig.Recv() == nil {
-		return nil
+		return "", false
 	}
-	return sig.Recv().Type()
+	recv := analysis.TypeName(sig.Recv().Type())
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", false
+	}
+	return renderExpr(sel.X) + "." + fn.Name(), true
 }
 
-// renderExpr prints a selector chain for held-set identity.
+// renderExpr prints a selector chain for the diagnostic.
 func renderExpr(e ast.Expr) string {
 	switch v := ast.Unparen(e).(type) {
 	case *ast.Ident:

@@ -8,11 +8,5 @@ import (
 )
 
 func TestLockDiscipline(t *testing.T) {
-	defer func(order, bus string) {
-		lockdiscipline.Order, lockdiscipline.BusTypes = order, bus
-	}(lockdiscipline.Order, lockdiscipline.BusTypes)
-	lockdiscipline.Order = "Shard < Cache"
-	lockdiscipline.BusTypes = "Bus"
-
 	analysistest.Run(t, analysistest.TestData(), lockdiscipline.Analyzer, "a")
 }

@@ -1,86 +1,13 @@
-// Corpus for the lockdiscipline analyzer. The test configures the lock
-// order "Shard < Cache" and the bus type "Bus", mirroring the simulator's
-// busShard → Cache hierarchy.
+// Corpus for the lockdiscipline analyzer: the hot-path defer rule.
+// (Lock ordering and cross-call discipline live in the lockorder corpus.)
 package a
 
 import "sync"
 
-type Shard struct{ mu sync.Mutex }
-
-type Cache struct{ mu sync.Mutex }
-
-type Bus struct{ shards [4]Shard }
-
-func (b *Bus) Access(c *Cache, line uint64) bool { return false }
-
-func (b *Bus) AccessLines(c *Cache, lines []uint64) {}
-
-// The documented order: shard first, then at most one cache mutex.
-func good(sh *Shard, c *Cache) {
-	sh.mu.Lock()
-	c.mu.Lock()
-	c.mu.Unlock()
-	sh.mu.Unlock()
-}
-
-// Reversed acquisition deadlocks against good().
-func reversed(sh *Shard, c *Cache) {
-	c.mu.Lock()
-	sh.mu.Lock() // want `lock order violation`
-	sh.mu.Unlock()
-	c.mu.Unlock()
-}
-
-// Two same-class locks at once: the bus protocol holds at most one.
-func twoCaches(c1, c2 *Cache) {
-	c1.mu.Lock()
-	c2.mu.Lock() // want `two Cache-class locks`
-	c2.mu.Unlock()
-	c1.mu.Unlock()
-}
-
-// Sequential per-peer locking (the AccessLines snoop loop shape) is legal:
-// each peer mutex is released before the next is taken.
-func sequentialPeers(sh *Shard, peers []*Cache) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	for _, p := range peers {
-		p.mu.Lock()
-		p.mu.Unlock()
-	}
-}
-
-// A foreign mutex held across a bus transaction.
-func heldAcrossBus(b *Bus, c *Cache, mu *sync.Mutex) {
-	mu.Lock()
-	b.Access(c, 1) // want `held across bus transaction`
-	mu.Unlock()
-}
-
-// Releasing before the transaction is the sanctioned shape.
-func releasedBeforeBus(b *Bus, c *Cache, mu *sync.Mutex) {
-	mu.Lock()
-	mu.Unlock()
-	b.Access(c, 1)
-}
-
-// Deferred unlocks also count as held for the whole function.
-func deferredAcrossBus(b *Bus, c *Cache, mu *sync.Mutex) {
-	mu.Lock()
-	defer mu.Unlock()
-	b.AccessLines(c, nil) // want `held across bus transaction`
-}
-
-// A conditional lock is tracked past its if (the cacheAccess shape).
-func conditional(b *Bus, c *Cache, mu *sync.Mutex, locked bool) {
-	if locked {
-		mu.Lock()
-	}
-	b.Access(c, 1) // want `held across bus transaction`
-	if locked {
-		mu.Unlock()
-	}
-	b.Access(c, 2)
+type Cache struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	set map[uint64]bool
 }
 
 // hot is on the per-access path: it must not defer its unlock.
@@ -88,7 +15,26 @@ func conditional(b *Bus, c *Cache, mu *sync.Mutex, locked bool) {
 //simlint:hotpath
 func hot(c *Cache) {
 	c.mu.Lock()
-	defer c.mu.Unlock() // want `defer .* //simlint:hotpath`
+	defer c.mu.Unlock() // want `defer c\.mu\.Unlock\(\) in a //simlint:hotpath function`
+}
+
+// Read locks count too.
+//
+//simlint:hotpath
+func hotRead(c *Cache) bool {
+	c.rw.RLock()
+	defer c.rw.RUnlock() // want `defer c\.rw\.RUnlock\(\) in a //simlint:hotpath function`
+	return c.set[1]
+}
+
+// Explicit unlocks are the sanctioned hot-path shape.
+//
+//simlint:hotpath
+func hotExplicit(c *Cache) bool {
+	c.mu.Lock()
+	v := c.set[1]
+	c.mu.Unlock()
+	return v
 }
 
 // Outside a hotpath, deferring the unlock is idiomatic and encouraged.
@@ -97,20 +43,22 @@ func cold(c *Cache) {
 	defer c.mu.Unlock()
 }
 
-// A function literal runs in its own lock context (it may execute after
-// the surrounding locks are gone); its body is analyzed independently.
-func litScope(b *Bus, c *Cache, mu *sync.Mutex) {
-	mu.Lock()
-	flush := func() { b.AccessLines(c, nil) }
-	mu.Unlock()
-	flush()
+// Non-mutex defers in a hotpath are fine.
+//
+//simlint:hotpath
+func hotCleanup(c *Cache, done func()) {
+	defer done()
+	c.mu.Lock()
+	c.mu.Unlock()
 }
 
-// Methods named Access* on non-bus types are not bus transactions.
-func cacheAccessOK(c *Cache, other *Cache, mu *sync.Mutex) {
-	mu.Lock()
-	_ = other.AccessProbe(1)
-	mu.Unlock()
+// A function literal inside a hotpath function runs in its own context (it
+// is typically a slow-path closure handed elsewhere); its defers are exempt.
+//
+//simlint:hotpath
+func hotWithLit(c *Cache) func() {
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 }
-
-func (c *Cache) AccessProbe(line uint64) bool { return false }

@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"hugeomp/internal/lint/analysistest"
+	"hugeomp/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	defer func(order string, pkgs []string) {
+		lockorder.Order, lockorder.Packages = order, pkgs
+	}(lockorder.Order, lockorder.Packages)
+	lockorder.Order = "L2.mu < Shard < Cache"
+	lockorder.Packages = []string{"a"}
+
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "a")
+}

@@ -1,0 +1,160 @@
+// Corpus for the lockorder analyzer. The test configures the order
+// "L2.mu < Shard < Cache", mirroring the simulator's
+// Context.l2Mu → busShard → Cache hierarchy.
+package a
+
+import "sync"
+
+type L2 struct{ mu sync.Mutex }
+
+type Shard struct{ mu sync.Mutex }
+
+type Cache struct{ mu sync.Mutex }
+
+type Foreign struct{ mu sync.Mutex }
+
+// --- negative controls: the documented order, direct and through calls ----
+
+// Straight-line acquisition in rank order is fine.
+func good(l2 *L2, sh *Shard, c *Cache) {
+	l2.mu.Lock()
+	sh.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	sh.mu.Unlock()
+	l2.mu.Unlock()
+}
+
+// lockShard takes a shard lock: callers above Shard rank may hold theirs.
+func lockShard(sh *Shard) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+
+// Holding the outermost lock across a call that acquires a lower-ranked
+// one follows the hierarchy.
+func goodThroughCall(l2 *L2, sh *Shard) {
+	l2.mu.Lock()
+	lockShard(sh)
+	l2.mu.Unlock()
+}
+
+// Releasing before the call keeps the held set empty: no edge, no report.
+func releasedBeforeCall(c *Cache, sh *Shard) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	lockShard(sh)
+}
+
+// --- direct rank inversions ------------------------------------------------
+
+// Reversed acquisition in one function.
+func reversed(sh *Shard, c *Cache) {
+	c.mu.Lock()
+	sh.mu.Lock() // want `lock order violation`
+	sh.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Two same-class locks at once.
+func twoCaches(c1, c2 *Cache) {
+	c1.mu.Lock()
+	c2.mu.Lock() // want `two Cache-class locks`
+	c2.mu.Unlock()
+	c1.mu.Unlock()
+}
+
+// --- interprocedural rank inversion two calls deep -------------------------
+
+// inner actually takes the shard lock.
+func inner(sh *Shard) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+
+// mid only forwards; its summary must still say "acquires Shard.mu".
+func mid(sh *Shard) {
+	inner(sh)
+}
+
+// outer holds a Cache lock across mid → inner → Shard.mu.Lock: a rank
+// inversion assembled across two call edges. The report carries the chain.
+func outer(sh *Shard, c *Cache) {
+	c.mu.Lock()
+	mid(sh) // want `lock order violation: Shard\.mu acquired while Cache\.mu is held.*acquisition path:.*call a\.mid.*call a\.inner.*sh\.mu\.Lock`
+	c.mu.Unlock()
+}
+
+// --- foreign (unranked) lock nested over the hierarchy ---------------------
+
+// A lock outside the order held across a ranked acquisition hides the
+// ordering from review (the old "no mutex held across bus traffic" rule,
+// generalized).
+func foreignOverRanked(f *Foreign, sh *Shard) {
+	f.mu.Lock()
+	lockShard(sh) // want `outside the documented hierarchy`
+	f.mu.Unlock()
+}
+
+// An unranked lock acquired *under* a ranked one is allowed on its own
+// (leaf-level private locks); only a conflicting reverse edge elsewhere
+// turns it into a cycle.
+type Leaf struct{ mu sync.Mutex }
+
+func rankedOverLeaf(c *Cache, lf *Leaf) {
+	c.mu.Lock()
+	lf.mu.Lock()
+	lf.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// --- same-lock re-acquisition ---------------------------------------------
+
+func selfDeadlock(c *Cache) {
+	c.mu.Lock()
+	c.mu.Lock() // want `two Cache-class locks`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// --- acquisition cycles among unranked locks -------------------------------
+
+type P struct{ mu sync.Mutex }
+
+type Q struct{ mu sync.Mutex }
+
+// pThenQ and qThenP individually look fine (both locks are outside the
+// documented order), but together they form a cycle; the analyzer unions
+// the acquisition edges and reports the first edge of the cycle it sees.
+func pThenQ(p *P, q *Q) {
+	p.mu.Lock()
+	q.mu.Lock() // want `lock acquisition cycle P\.mu -> Q\.mu -> P\.mu`
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func qThenP(p *P, q *Q) {
+	q.mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	q.mu.Unlock()
+}
+
+// --- function literals -----------------------------------------------------
+
+// A literal runs with its own lock context: acquiring a shard lock inside
+// one while the caller holds a cache lock is not a (synchronous) inversion
+// at this site, but the acquisition still folds into the summary — callers
+// of lockViaLit holding a Cache lock are flagged at their own call site.
+func lockViaLit(sh *Shard) {
+	go func() {
+		sh.mu.Lock()
+		sh.mu.Unlock()
+	}()
+}
+
+func callerOfLit(c *Cache, sh *Shard) {
+	c.mu.Lock()
+	lockViaLit(sh) // want `lock order violation`
+	c.mu.Unlock()
+}

@@ -369,10 +369,10 @@ func (c *Context) cacheAccess(line uint64, write bool) uint64 {
 	interv := false
 	if bus := c.machine.bus; bus != nil {
 		// l2Mu is only non-nil for a truly shared L2, where it is the
-		// outermost lock of the hierarchy (l2Mu > busShard > Cache) and no
-		// bus path ever takes it back, so holding it across the transaction
-		// cannot deadlock — it is what serialises the shared L2.
-		//simlint:ignore lockdiscipline shared-L2 serialisation: l2Mu is above the bus in the lock hierarchy and nothing inside Bus.Access acquires it
+		// outermost lock of the hierarchy (Context.l2Mu ranks above busShard
+		// and Cache in lockorder.Order) and no bus path ever takes it back,
+		// so holding it across the transaction cannot deadlock — it is what
+		// serialises the shared L2.
 		res2, interv = bus.Access(c.l2, line, write)
 	} else {
 		res2 = c.l2.Access(line, write)

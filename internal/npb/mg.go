@@ -319,12 +319,14 @@ func (k *MG) norm2(rt *omp.RT) float64 {
 // coarse correction equations, prolongate back up with post-smoothing (a
 // standard correction-scheme V-cycle).
 func (k *MG) vcycle(rt *omp.RT) {
+	//simlint:nocheckpoint bounded level sweep (log2 of the grid, ~8 levels); Run checkpoints once per V-cycle
 	for l := 0; l < k.levels-1; l++ {
 		k.resid(rt, l)
 		k.rprj3(rt, l) // r[l] -> f[l+1]
 		k.zero(rt, l+1)
 	}
 	k.smooth(rt, k.levels-1) // bottom solve (one exact-in-z sweep)
+	//simlint:nocheckpoint bounded level sweep (log2 of the grid, ~8 levels); Run checkpoints once per V-cycle
 	for l := k.levels - 2; l >= 0; l-- {
 		k.interp(rt, l)
 		k.smooth(rt, l) // post-smooth (sawtooth cycle)

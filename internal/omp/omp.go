@@ -498,9 +498,13 @@ func (rt *RT) accountRegion(code *CodeRegion) {
 	// plus only the unhidden stall tail (floored by the slowest single
 	// thread).
 	interleave := rt.m.Model.SMT == machine.SMTInterleave
-	coreBusy := map[int]uint64{}
-	coreMem := map[int]uint64{}
-	coreMaxThread := map[int]uint64{}
+	// Dense per-core slices (CoreOf keys are contiguous): the aggregation
+	// and the fold below visit cores in index order, so the merge is
+	// deterministic by construction, not by map luck.
+	ncores := rt.m.Model.Cores()
+	coreBusy := make([]uint64, ncores)
+	coreMem := make([]uint64, ncores)
+	coreMaxThread := make([]uint64, ncores)
 	for i, c := range rt.ctxs {
 		core := rt.m.CoreOf(c)
 		d := rt.deltas.Shard(i)
